@@ -1,0 +1,274 @@
+(* Benchmark harness.
+
+     dune exec bench/main.exe                 -- everything
+     TOMO_BENCH_SCALE=small dune exec bench/main.exe
+     TOMO_BENCH_FIGURES=0  dune exec bench/main.exe  -- skip figures
+     TOMO_BENCH_PERF=0     dune exec bench/main.exe  -- skip Bechamel
+
+   Two parts:
+
+   1. Reproduction pass — regenerates every table and figure of the
+      paper's evaluation (Fig. 3a/3b, Fig. 4a–d, Table 2) at the chosen
+      scale and prints the same rows/series the paper reports.
+
+   2. Bechamel micro-benchmarks — one [Test.make] per table/figure
+      workload (the per-interval inference kernels behind Fig. 3, the
+      probability-computation solves behind Fig. 4) plus the substrate
+      kernels (topology generation, simulation, estimator, and the
+      Algorithm-2 incremental null-space update vs a from-scratch
+      recomputation — the ablation for the paper's design choice). *)
+
+open Bechamel
+open Toolkit
+module W = Tomo_experiments.Workload
+module Fig3 = Tomo_experiments.Fig3
+module Fig4 = Tomo_experiments.Fig4
+module Render = Tomo_experiments.Render
+module Scenario = Tomo_netsim.Scenario
+module Matrix = Tomo_linalg.Matrix
+module Nullspace = Tomo_linalg.Nullspace
+module Rng = Tomo_util.Rng
+
+let ppf = Format.std_formatter
+
+let scale =
+  match Sys.getenv_opt "TOMO_BENCH_SCALE" with
+  | Some s -> (
+      match W.scale_of_string s with
+      | Ok v -> v
+      | Error e -> failwith e)
+  | None -> W.Medium
+
+let seed =
+  match Sys.getenv_opt "TOMO_BENCH_SEED" with
+  | Some s -> int_of_string s
+  | None -> 1
+
+let enabled name =
+  match Sys.getenv_opt name with Some "0" -> false | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure reproduction                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reproduction_pass () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf
+    "Reproduction pass (scale=%s, seed=%d) — every table and figure@."
+    (W.scale_to_string scale) seed;
+  Format.fprintf ppf
+    "==================================================================@.";
+  let t0 = Unix.gettimeofday () in
+  Render.fig3 ppf (Fig3.run ~scale ~seed);
+  Render.fig4_mae ppf
+    ~title:
+      "Figure 4(a): mean absolute error of link congestion probability \
+       (Brite)"
+    (Fig4.run_mae ~topology:W.Brite ~scale ~seed);
+  Render.fig4_mae ppf
+    ~title:
+      "Figure 4(b): mean absolute error of link congestion probability \
+       (Sparse)"
+    (Fig4.run_mae ~topology:W.Sparse ~scale ~seed);
+  Render.fig4_cdf ppf (Fig4.run_cdf ~scale ~seed ~steps:10);
+  Render.fig4_subsets ppf (Fig4.run_subsets ~scale ~seed);
+  Render.table2 ppf;
+  Format.fprintf ppf "@.(reproduction pass took %.1f s)@.@."
+    (Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Shared fixtures, small enough that each benched call is sub-second. *)
+let fixture_spec = W.spec ~scale:W.Small ~seed:2 W.Brite Scenario.Random
+
+let fixture = lazy (W.prepare fixture_spec)
+
+let fixture_corr =
+  lazy (W.prepare (W.spec ~scale:W.Small ~seed:2 W.Brite Scenario.No_independence))
+
+let interval_inputs w =
+  let obs = w.W.obs in
+  (Tomo.Observations.congested_paths_at obs ~interval:0,
+   Tomo.Observations.good_paths_at obs ~interval:0)
+
+let bench_tests () =
+  let w = Lazy.force fixture in
+  let wc = Lazy.force fixture_corr in
+  let model = w.W.model and obs = w.W.obs in
+  let congested_paths, good_paths = interval_inputs w in
+  (* Fig. 3 kernels: the per-interval inference each cell runs 1000×. *)
+  let pc_ind = Tomo.Independence_pc.compute model obs in
+  let _, engine = Tomo.Correlation_complete.compute model obs in
+  let selection = Tomo.Algorithm1.select model obs in
+  let fig3_tests =
+    [
+      Test.make ~name:"fig3/sparsity-interval"
+        (Staged.stage (fun () ->
+             Tomo.Sparsity.infer model ~congested_paths ~good_paths));
+      Test.make ~name:"fig3/bayesian-independence-interval"
+        (Staged.stage (fun () ->
+             Tomo.Bayesian.infer_independence model
+               ~marginals:pc_ind.Tomo.Pc_result.marginals ~congested_paths
+               ~good_paths));
+      Test.make ~name:"fig3/bayesian-correlation-interval"
+        (Staged.stage (fun () ->
+             Tomo.Bayesian.infer_correlation model ~engine ~congested_paths
+               ~good_paths));
+    ]
+  in
+  (* Fig. 4 workloads: one Probability Computation solve per algorithm
+     (the unit of work behind every bar of Fig. 4a/4b). *)
+  let fig4_tests =
+    [
+      Test.make ~name:"fig4/independence-pc"
+        (Staged.stage (fun () -> Tomo.Independence_pc.compute model obs));
+      Test.make ~name:"fig4/correlation-heuristic"
+        (Staged.stage (fun () ->
+             Tomo.Correlation_heuristic.compute model obs));
+      Test.make ~name:"fig4/correlation-complete"
+        (Staged.stage (fun () ->
+             Tomo.Correlation_complete.compute model obs));
+      Test.make ~name:"fig4c/error-cdf"
+        (Staged.stage (fun () ->
+             let r = Tomo.Independence_pc.compute wc.W.model wc.W.obs in
+             Fig4.link_errors wc r));
+      (let reg =
+         engine.Tomo.Prob_engine.selection.Tomo.Algorithm1.registry
+       in
+       (* The unit of work behind Fig. 4(d): one correlation-subset
+          congestion probability. *)
+       let subset =
+         let found = ref None in
+         for v = 0 to Tomo.Eqn.n_vars reg - 1 do
+           let s = Tomo.Eqn.subset_of_var reg v in
+           if !found = None && Array.length s.Tomo.Subsets.links >= 2 then
+             found := Some s
+         done;
+         !found
+       in
+       Test.make ~name:"fig4d/subset-congestion-prob"
+         (Staged.stage (fun () ->
+              match subset with
+              | Some s ->
+                  ignore
+                    (Tomo.Prob_engine.congestion_prob engine
+                       ~corr:s.Tomo.Subsets.corr s.Tomo.Subsets.links)
+              | None -> ())));
+    ]
+  in
+  (* Substrate kernels + the Algorithm 2 ablation. *)
+  let rng = Rng.create 5 in
+  let amatrix =
+    Matrix.init 60 80 (fun _ _ -> if Rng.bool rng ~p:0.3 then 1.0 else 0.0)
+  in
+  let nsp = Nullspace.basis amatrix in
+  let new_row =
+    Array.init 80 (fun _ -> if Rng.bool rng ~p:0.3 then 1.0 else 0.0)
+  in
+  let stacked =
+    Matrix.init 61 80 (fun i j ->
+        if i < 60 then Matrix.get amatrix i j else new_row.(j))
+  in
+  let scenario =
+    Scenario.make w.W.overlay ~kind:Scenario.Random ~rng:(Rng.create 3)
+      ~frac:0.1
+  in
+  let factor_probs = Scenario.draw_probs scenario (Rng.create 4) in
+  let fmodel = Tomo_netsim.Factor_model.make w.W.overlay factor_probs in
+  let some_paths =
+    Array.init (min 4 model.Tomo.Model.n_paths) (fun i -> i)
+  in
+  let kernel_tests =
+    [
+      Test.make ~name:"kernel/topology-brite-small"
+        (Staged.stage (fun () ->
+             Tomo_topology.Brite.generate
+               ~params:
+                 {
+                   Tomo_topology.Brite.default with
+                   Tomo_topology.Brite.n_ases = 40;
+                   n_paths = 150;
+                 }
+               ~seed:7 ()));
+      Test.make ~name:"kernel/topology-sparse-small"
+        (Staged.stage (fun () ->
+             Tomo_topology.Sparse_topo.generate
+               ~params:
+                 {
+                   Tomo_topology.Sparse_topo.default with
+                   Tomo_topology.Sparse_topo.n_ases = 120;
+                   n_paths = 150;
+                 }
+               ~seed:7 ()));
+      Test.make ~name:"kernel/simulate-interval"
+        (Staged.stage (fun () ->
+             Tomo_netsim.Factor_model.draw_interval fmodel rng));
+      Test.make ~name:"kernel/estimator-all-good-count"
+        (Staged.stage (fun () ->
+             Tomo.Observations.all_good_count obs some_paths));
+      Test.make ~name:"kernel/algorithm1-select"
+        (Staged.stage (fun () -> Tomo.Algorithm1.select model obs));
+      Test.make ~name:"kernel/prob-engine-solve"
+        (Staged.stage (fun () -> Tomo.Prob_engine.solve selection obs));
+      Test.make ~name:"kernel/nullspace-update-alg2"
+        (Staged.stage (fun () -> Nullspace.update nsp new_row));
+      Test.make ~name:"kernel/nullspace-recompute"
+        (Staged.stage (fun () -> Nullspace.basis stacked));
+    ]
+  in
+  Test.make_grouped ~name:"tomo" ~fmt:"%s %s"
+    (fig3_tests @ fig4_tests @ kernel_tests)
+
+let run_benchmarks () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf "Bechamel micro-benchmarks (ns per call, OLS fit)@.";
+  Format.fprintf ppf
+    "==================================================================@.";
+  let tests = bench_tests () in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~stabilize:false
+      ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> r
+        | None -> nan
+      in
+      rows := (name, ns, r2) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Format.fprintf ppf "%-45s%18s%10s@." "benchmark" "time/call" "r²";
+  Format.fprintf ppf "%s@." (String.make 73 '-');
+  let pp_time ppf ns =
+    if ns > 1e9 then Format.fprintf ppf "%10.3f s " (ns /. 1e9)
+    else if ns > 1e6 then Format.fprintf ppf "%10.3f ms" (ns /. 1e6)
+    else if ns > 1e3 then Format.fprintf ppf "%10.3f us" (ns /. 1e3)
+    else Format.fprintf ppf "%10.1f ns" ns
+  in
+  List.iter
+    (fun (name, ns, r2) ->
+      Format.fprintf ppf "%-45s%a%10.3f@." name pp_time ns r2)
+    rows
+
+let () =
+  if enabled "TOMO_BENCH_FIGURES" then reproduction_pass ();
+  if enabled "TOMO_BENCH_PERF" then run_benchmarks ();
+  Format.fprintf ppf "@.done.@."

@@ -1,0 +1,235 @@
+(* Command-line entry point: regenerate any table or figure of the
+   paper's evaluation, plus the ablation/sensitivity experiments.
+
+     tomo_cli fig3    --scale medium --seed 1 --seeds 3
+     tomo_cli fig4a / fig4b / fig4c / fig4d / table2 / all
+     tomo_cli ablation / probes / convergence
+     tomo_cli summary
+
+   Scale "paper" matches §3.2 (1000/2000 links, 1500 paths, 1000
+   intervals) and takes tens of minutes; "medium" (default) preserves the
+   qualitative shape in about a minute. `--seeds N` averages figures over
+   N independently generated topologies (seed, seed+1, ...). *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let scale_arg =
+  let parse s =
+    match Tomo_experiments.Workload.scale_of_string s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf s =
+    Format.fprintf ppf "%s" (Tomo_experiments.Workload.scale_to_string s)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tomo_experiments.Workload.Medium
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Experiment scale: small, medium or paper.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for the experiment.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "seeds" ] ~docv:"N"
+        ~doc:
+          "Average figures over N topologies (seeds SEED..SEED+N-1). \
+           Applies to fig3, fig4a, fig4b and all.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR"
+        ~doc:
+          "Also write the figure's data as CSV files into $(docv) \
+           (created if missing). Applies to fig3, fig4a-d and all.")
+
+let ensure_dir = function
+  | None -> ()
+  | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let csv_path dir name = Filename.concat dir name
+
+let seed_list seed n = List.init (max 1 n) (fun i -> seed + i)
+
+let announce name scale seed seeds =
+  Format.fprintf ppf "Running %s (scale=%s, seed=%d%s)...@." name
+    (Tomo_experiments.Workload.scale_to_string scale)
+    seed
+    (if seeds > 1 then Printf.sprintf ", %d seeds averaged" seeds else "")
+
+let run_fig3 scale seed seeds csv =
+  announce "Figure 3" scale seed seeds;
+  let rows =
+    Tomo_experiments.Fig3.run_averaged ~scale ~seeds:(seed_list seed seeds)
+  in
+  Tomo_experiments.Render.fig3 ppf rows;
+  ensure_dir csv;
+  Option.iter
+    (fun dir ->
+      Tomo_experiments.Render.fig3_csv (csv_path dir "fig3.csv") rows)
+    csv
+
+let run_fig4_mae topology title scale seed seeds csv csv_name =
+  announce title scale seed seeds;
+  let rows =
+    Tomo_experiments.Fig4.run_mae_averaged ~topology ~scale
+      ~seeds:(seed_list seed seeds)
+  in
+  Tomo_experiments.Render.fig4_mae ppf ~title rows;
+  ensure_dir csv;
+  Option.iter
+    (fun dir ->
+      Tomo_experiments.Render.fig4_mae_csv (csv_path dir csv_name) rows)
+    csv
+
+let fig4a scale seed seeds csv =
+  run_fig4_mae Tomo_experiments.Workload.Brite
+    "Figure 4(a): mean absolute error of link congestion probability \
+     (Brite)"
+    scale seed seeds csv "fig4a.csv"
+
+let fig4b scale seed seeds csv =
+  run_fig4_mae Tomo_experiments.Workload.Sparse
+    "Figure 4(b): mean absolute error of link congestion probability \
+     (Sparse)"
+    scale seed seeds csv "fig4b.csv"
+
+let run_fig4c scale seed seeds csv =
+  announce "Figure 4(c)" scale seed seeds;
+  let curves = Tomo_experiments.Fig4.run_cdf ~scale ~seed ~steps:10 in
+  Tomo_experiments.Render.fig4_cdf ppf curves;
+  ensure_dir csv;
+  Option.iter
+    (fun dir ->
+      Tomo_experiments.Render.fig4_cdf_csv (csv_path dir "fig4c.csv") curves)
+    csv
+
+let run_fig4d scale seed seeds csv =
+  announce "Figure 4(d)" scale seed seeds;
+  let cells = Tomo_experiments.Fig4.run_subsets ~scale ~seed in
+  Tomo_experiments.Render.fig4_subsets ppf cells;
+  ensure_dir csv;
+  Option.iter
+    (fun dir ->
+      Tomo_experiments.Render.fig4_subsets_csv
+        (csv_path dir "fig4d.csv")
+        cells)
+    csv
+
+let run_ablation scale seed seeds =
+  announce "subset-size ablation" scale seed seeds;
+  Tomo_experiments.Ablation.render_subset_rows ppf
+    (Tomo_experiments.Ablation.subset_size_sweep ~scale ~seed
+       ~sizes:[ 1; 2; 3; 4 ])
+
+let run_fallback scale seed seeds =
+  announce "fallback-strategy ablation" scale seed seeds;
+  Tomo_experiments.Ablation.render_fallback_rows ppf
+    (Tomo_experiments.Ablation.fallback_sweep ~scale ~seed)
+
+let run_probes scale seed seeds =
+  announce "probing sensitivity" scale seed seeds;
+  Tomo_experiments.Ablation.render_probe_rows ppf
+    (Tomo_experiments.Ablation.probe_sweep ~scale ~seed
+       ~budgets:[ 1600; 400; 100; 25 ])
+
+let run_convergence scale seed seeds =
+  announce "estimation convergence" scale seed seeds;
+  Tomo_experiments.Ablation.render_interval_rows ppf
+    (Tomo_experiments.Ablation.interval_sweep ~scale ~seed
+       ~lengths:[ 50; 100; 200; 400; 800; 1600 ])
+
+let run_report scale seed _seeds =
+  Format.fprintf ppf
+    "Monitoring report: peers of the source ISP (scale=%s, seed=%d)@."
+    (Tomo_experiments.Workload.scale_to_string scale)
+    seed;
+  let w =
+    Tomo_experiments.Workload.prepare
+      (Tomo_experiments.Workload.spec ~scale ~seed
+         Tomo_experiments.Workload.Brite Tomo_netsim.Scenario.Random)
+  in
+  let _, engine =
+    Tomo.Correlation_complete.compute w.Tomo_experiments.Workload.model
+      w.Tomo_experiments.Workload.obs
+  in
+  let peers =
+    Tomo_experiments.Peer_report.build
+      ~model:w.Tomo_experiments.Workload.model ~engine
+      ~overlay:w.Tomo_experiments.Workload.overlay ~resamples:30
+      ~rng:(Tomo_util.Rng.create (seed + 1))
+  in
+  Tomo_experiments.Peer_report.render ppf ~top:15 peers
+
+let run_summary scale seed _seeds =
+  List.iter
+    (fun topology ->
+      let spec =
+        Tomo_experiments.Workload.spec ~scale ~seed topology
+          Tomo_netsim.Scenario.Random
+      in
+      let w = Tomo_experiments.Workload.prepare spec in
+      Format.fprintf ppf "@.%s topology:@.%a@."
+        (Tomo_experiments.Workload.topology_to_string topology)
+        Tomo_topology.Overlay.pp_summary w.Tomo_experiments.Workload.overlay)
+    [ Tomo_experiments.Workload.Brite; Tomo_experiments.Workload.Sparse ]
+
+let all scale seed seeds csv =
+  run_fig3 scale seed seeds csv;
+  fig4a scale seed seeds csv;
+  fig4b scale seed seeds csv;
+  run_fig4c scale seed seeds csv;
+  run_fig4d scale seed seeds csv;
+  Tomo_experiments.Render.table2 ppf
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ seed_arg $ seeds_arg)
+
+let cmd_csv name doc f =
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(const f $ scale_arg $ seed_arg $ seeds_arg $ csv_arg)
+
+let table2_cmd =
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Print the paper's Table 2 (static).")
+    Term.(const (fun () -> Tomo_experiments.Render.table2 ppf) $ const ())
+
+let () =
+  let info =
+    Cmd.info "tomo_cli" ~version:"1.0.0"
+      ~doc:
+        "Reproduce the evaluation of 'Shifting Network Tomography Toward \
+         A Practical Goal' (CoNEXT 2011)."
+  in
+  let cmds =
+    [
+      cmd_csv "fig3" "Figure 3: Boolean-Inference accuracy (both panels)."
+        run_fig3;
+      cmd_csv "fig4a" "Figure 4(a): PC error on Brite topologies." fig4a;
+      cmd_csv "fig4b" "Figure 4(b): PC error on Sparse topologies." fig4b;
+      cmd_csv "fig4c" "Figure 4(c): error CDF (No Independence, Sparse)."
+        run_fig4c;
+      cmd_csv "fig4d" "Figure 4(d): links vs correlation subsets." run_fig4d;
+      cmd "ablation" "Subset-size budget ablation (§4)." run_ablation;
+      cmd "fallback" "Chain-link fallback strategy ablation." run_fallback;
+      cmd "probes" "E2E-Monitoring sensitivity under packet probing."
+        run_probes;
+      cmd "convergence" "Accuracy vs experiment length." run_convergence;
+      cmd "report" "Operator-facing peer congestion report (§1 scenario)."
+        run_report;
+      cmd "summary" "Print generated topology statistics." run_summary;
+      cmd_csv "all" "Run every figure and table." all;
+      table2_cmd;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

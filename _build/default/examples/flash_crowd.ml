@@ -1,0 +1,86 @@
+(* The paper's non-stationarity story (§3.1): "consider a link that is
+   normally congested very rarely ... suppose this link incurs a
+   technical failure or comes under a flooding attack and becomes
+   severely congested for a few time intervals; unless we already know
+   when this failure/attack occurs, Probabilistic Inference will not
+   pick this link as congested (because it has a low congestion
+   probability associated with it)."
+
+     dune exec examples/flash_crowd.exe
+
+   We script exactly that on the toy topology: e4 is quiet for 95% of
+   the experiment, then a flash crowd congests it for a short burst.
+   Bayesian inference — fed the long-run probabilities — under-detects
+   e4 during the burst, while Probability Computation still reports the
+   exactly right long-run frequency: the paper's argument for shifting
+   the goal. *)
+
+module Toy = Tomo.Toy
+module Bitset = Tomo_util.Bitset
+module Rng = Tomo_util.Rng
+
+let () =
+  let t = 2000 in
+  let burst_start = 1800 and burst_len = 100 in
+  let rng = Rng.create 99 in
+  (* e1 congests half the time, e3 a quarter of the time — chronic
+     moderate congestion. e4 is quiet except for the burst, when it is
+     fully congested. During a burst interval p3 = (e4,e3) is congested;
+     whenever p2 = (e1,e3) is also congested (e1's doing), e3 is not
+     exonerated and inference must *choose* between e3 (high long-run
+     prior) and e4 (low prior). *)
+  let states =
+    Array.init t (fun i ->
+        let burst = i >= burst_start && i < burst_start + burst_len in
+        List.concat
+          [
+            (if Rng.bool rng ~p:0.5 then [ Toy.e1 ] else []);
+            (if Rng.bool rng ~p:0.25 then [ Toy.e3 ] else []);
+            (if burst then [ Toy.e4 ] else []);
+          ])
+  in
+  let obs = Toy.observations ~interval_states:states in
+  let model = Toy.case1 () in
+  let selection = Tomo.Algorithm1.select model obs in
+  let engine = Tomo.Prob_engine.solve selection obs in
+
+  Format.printf "Long-run congestion probability of e4 (truth %.3f): %.3f@."
+    (float_of_int burst_len /. float_of_int t)
+    (Tomo.Prob_engine.link_marginal engine Toy.e4);
+  Format.printf
+    "Probability Computation nails the frequency — 'e4 was congested \
+     for %.0f%% of the time'.@."
+    (100.0 *. Tomo.Prob_engine.link_marginal engine Toy.e4);
+
+  (* Now per-interval Boolean inference during the burst. p3 = (e4,e3)
+     is congested; so is p2 whenever e1 is also congested — the
+     ambiguous intervals where probabilities decide. *)
+  let marginals =
+    Array.init 4 (Tomo.Prob_engine.link_marginal engine)
+  in
+  let detected = ref 0 and burst_intervals = ref 0 in
+  for i = burst_start to burst_start + burst_len - 1 do
+    incr burst_intervals;
+    let congested_paths = Tomo.Observations.congested_paths_at obs ~interval:i in
+    let good_paths = Tomo.Observations.good_paths_at obs ~interval:i in
+    let inferred =
+      Tomo.Bayesian.infer_independence model ~marginals ~congested_paths
+        ~good_paths
+    in
+    if Bitset.get inferred Toy.e4 then incr detected
+  done;
+  Format.printf
+    "@.During the %d burst intervals, Bayesian-Independence blamed e4 in \
+     %d (%.0f%%).@."
+    !burst_intervals !detected
+    (100.0 *. float_of_int !detected /. float_of_int !burst_intervals);
+  Format.printf
+    "Whenever e3's path status leaves room for doubt, the long-run prior \
+     (%.3f)@.votes against the link that is actually melting down right \
+     now.@."
+    marginals.(Toy.e4);
+  Format.printf
+    "@.Moral (paper §4): per-interval diagnosis needs information no \
+     tomographic@.system has under non-stationarity; long-run \
+     frequencies are both computable@.and what an operator can act \
+     on.@."

@@ -1,0 +1,66 @@
+(* The paper's motivating scenario (§1): a Tier-1 "source ISP" monitors
+   the congestion behaviour of its peers using only end-to-end path
+   measurements.
+
+     dune exec examples/isp_monitoring.exe
+
+   We generate a Brite-style internet, simulate a day of measurement
+   with random congestion, run Correlation-complete, and produce the
+   report the source ISP actually wants: peers ranked by how many of
+   their links are congested at a typical moment, with bootstrap
+   confidence intervals and the strongest identified intra-peer
+   correlations. The (normally unknowable) simulator ground truth is
+   shown for the top peers as a sanity check. *)
+
+module W = Tomo_experiments.Workload
+module Peer_report = Tomo_experiments.Peer_report
+module Overlay = Tomo_topology.Overlay
+module Run = Tomo_netsim.Run
+
+let () =
+  Format.printf "Generating internet and simulating measurements...@.";
+  let w =
+    W.prepare
+      (W.spec ~scale:W.Medium ~seed:7 W.Brite Tomo_netsim.Scenario.Random)
+  in
+  Format.printf "%a@.@." Overlay.pp_summary w.W.overlay;
+
+  let _, engine = Tomo.Correlation_complete.compute w.W.model w.W.obs in
+  let peers =
+    Peer_report.build ~model:w.W.model ~engine ~overlay:w.W.overlay
+      ~resamples:30
+      ~rng:(Tomo_util.Rng.create 99)
+  in
+  Format.printf
+    "Peers ranked by expected number of simultaneously congested links@.";
+  Peer_report.render Format.std_formatter ~top:12 peers;
+
+  (* Sanity check against the simulator's closed-form truth. *)
+  Format.printf "@.Ground-truth check (top 5):@.";
+  let cs = Overlay.correlation_sets w.W.overlay in
+  let truth_of_peer peer_as =
+    Array.to_list cs
+    |> List.filter_map (fun links ->
+           if
+             Array.length links > 0
+             && w.W.overlay.Overlay.links.(links.(0)).Overlay.owner_as
+                = peer_as
+           then
+             Some
+               (Array.fold_left
+                  (fun a e -> a +. Run.true_link_marginal w.W.run e)
+                  0.0 links)
+           else None)
+    |> List.fold_left ( +. ) 0.0
+  in
+  List.iteri
+    (fun i (p : Peer_report.peer) ->
+      if i < 5 then
+        Format.printf "  peer %d: estimated %.3f, truth %.3f@."
+          p.Peer_report.peer_as p.Peer_report.expected_congested
+          (truth_of_peer p.Peer_report.peer_as))
+    peers;
+  Format.printf
+    "@.The source ISP reads this as: 'peer X has, at any moment, on \
+     average N@.of its links congested' — the long-run view the paper \
+     argues is both@.obtainable and sufficient in practice.@."

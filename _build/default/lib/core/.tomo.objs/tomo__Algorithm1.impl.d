@@ -1,0 +1,1 @@
+lib/core/algorithm1.ml: Array Eqn List Logs Model Subsets Tomo_linalg Tomo_util

@@ -1,0 +1,1 @@
+lib/core/algorithm1.mli: Eqn Model Observations Tomo_linalg Tomo_util

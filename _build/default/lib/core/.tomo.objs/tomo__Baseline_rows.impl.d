@@ -1,0 +1,1 @@
+lib/core/baseline_rows.ml: Array Hashtbl List Model Tomo_util

@@ -1,0 +1,1 @@
+lib/core/baseline_rows.mli: Model Tomo_util

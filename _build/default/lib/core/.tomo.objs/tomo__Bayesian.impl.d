@@ -1,0 +1,1 @@
+lib/core/bayesian.ml: Algorithm1 Array List Model Prob_engine Tomo_util

@@ -1,0 +1,1 @@
+lib/core/bayesian.mli: Model Prob_engine Tomo_util

@@ -1,0 +1,1 @@
+lib/core/confidence.ml: Algorithm1 Array List Model Observations Prob_engine Tomo_util

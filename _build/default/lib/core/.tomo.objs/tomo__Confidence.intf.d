@@ -1,0 +1,1 @@
+lib/core/confidence.mli: Prob_engine Subsets Tomo_util

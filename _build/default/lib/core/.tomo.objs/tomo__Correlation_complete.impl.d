@@ -1,0 +1,1 @@
+lib/core/correlation_complete.ml: Algorithm1 Array Eqn Model Pc_result Prob_engine

@@ -1,0 +1,1 @@
+lib/core/correlation_complete.mli: Algorithm1 Model Observations Pc_result Prob_engine

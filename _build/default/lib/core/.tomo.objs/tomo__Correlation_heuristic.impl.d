@@ -1,0 +1,1 @@
+lib/core/correlation_heuristic.ml: Algorithm1 Array Baseline_rows Eqn List Model Pc_result Prob_engine Subsets Tomo_linalg Tomo_util

@@ -1,0 +1,1 @@
+lib/core/correlation_heuristic.mli: Model Observations Pc_result Prob_engine

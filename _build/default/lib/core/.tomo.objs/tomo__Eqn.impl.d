@@ -1,0 +1,1 @@
+lib/core/eqn.ml: Array Hashtbl List Model Option Subsets Tomo_util

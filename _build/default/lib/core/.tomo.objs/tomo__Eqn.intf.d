@@ -1,0 +1,1 @@
+lib/core/eqn.mli: Model Subsets Tomo_util

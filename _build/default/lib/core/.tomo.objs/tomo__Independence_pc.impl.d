@@ -1,0 +1,1 @@
+lib/core/independence_pc.ml: Array Baseline_rows List Model Observations Pc_result Subsets Tomo_linalg Tomo_util

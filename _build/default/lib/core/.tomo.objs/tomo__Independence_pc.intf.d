@@ -1,0 +1,1 @@
+lib/core/independence_pc.mli: Model Observations Pc_result

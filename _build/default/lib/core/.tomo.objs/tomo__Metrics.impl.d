@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Array Fun List Tomo_util

@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Hashtbl List String Tomo_util

@@ -1,0 +1,1 @@
+lib/core/observations.ml: Array Tomo_util

@@ -1,0 +1,1 @@
+lib/core/observations.mli: Tomo_util

@@ -1,0 +1,1 @@
+lib/core/observations_io.ml: Array Buffer Bytes Format Fun In_channel List Observations Printf String Tomo_util

@@ -1,0 +1,1 @@
+lib/core/observations_io.mli: Format Observations

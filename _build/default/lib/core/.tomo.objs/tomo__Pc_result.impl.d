@@ -1,0 +1,1 @@
+lib/core/pc_result.ml: Tomo_util

@@ -1,0 +1,1 @@
+lib/core/pc_result.mli: Tomo_util

@@ -1,0 +1,1 @@
+lib/core/prob_engine.ml: Algorithm1 Array Eqn Hashtbl List Model Observations Option Subsets Tomo_linalg Tomo_util

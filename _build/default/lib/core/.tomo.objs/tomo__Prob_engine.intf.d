@@ -1,0 +1,1 @@
+lib/core/prob_engine.mli: Algorithm1 Observations Subsets

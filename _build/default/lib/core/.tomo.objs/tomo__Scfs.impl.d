@@ -1,0 +1,1 @@
+lib/core/scfs.ml: Array Fun List Model Tomo_util

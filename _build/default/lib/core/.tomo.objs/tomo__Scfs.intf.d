@@ -1,0 +1,1 @@
+lib/core/scfs.mli: Model Tomo_util

@@ -1,0 +1,1 @@
+lib/core/sparsity.ml: Array List Model Tomo_util

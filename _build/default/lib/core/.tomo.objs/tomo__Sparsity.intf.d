@@ -1,0 +1,1 @@
+lib/core/sparsity.mli: Model Tomo_util

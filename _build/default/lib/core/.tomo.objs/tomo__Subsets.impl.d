@@ -1,0 +1,1 @@
+lib/core/subsets.ml: Array Format Hashtbl List Model Observations Printf Stdlib String Tomo_util

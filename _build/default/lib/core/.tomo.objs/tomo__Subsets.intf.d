@@ -1,0 +1,1 @@
+lib/core/subsets.mli: Format Model Observations Tomo_util

@@ -1,0 +1,1 @@
+lib/core/toy.ml: Array List Model Observations Tomo_util

@@ -1,0 +1,172 @@
+module Bitset = Tomo_util.Bitset
+module Combin = Tomo_util.Combin
+module Matrix = Tomo_linalg.Matrix
+module Nullspace = Tomo_linalg.Nullspace
+
+let src = Logs.Src.create "tomo.algorithm1" ~doc:"Path-set selection"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  max_subset_size : int;
+  limit_per_set : int;
+  max_pathset_size : int;
+  max_candidates_per_subset : int;
+  tol : float;
+}
+
+let default_config =
+  {
+    max_subset_size = 3;
+    limit_per_set = 500;
+    max_pathset_size = 8;
+    max_candidates_per_subset = 300;
+    tol = 1e-8;
+  }
+
+type selection = {
+  model : Model.t;
+  effective : Bitset.t;
+  registry : Eqn.registry;
+  rows : Eqn.row array;
+  nullspace : Matrix.t;
+}
+
+(* Per-variable candidate state: rows enumerated lazily from subsets of
+   the pool Paths(E) \ Paths(Ē), with a cursor over rows already tested.
+   A row found dependent can never become independent again (the row
+   space only grows), so the cursor never moves backwards. *)
+type cand_state = {
+  mutable cands : Eqn.row array option;  (* None = not yet materialized *)
+  mutable cursor : int;
+}
+
+let materialize_candidates cfg model ~effective registry s =
+  let pool = Bitset.to_list (Subsets.candidate_paths model ~effective s) in
+  let pool = Array.of_list pool in
+  let acc = ref [] in
+  let (_ : int) =
+    Combin.iter_subsets_by_size pool ~max_size:cfg.max_pathset_size
+      ~limit:cfg.max_candidates_per_subset (fun paths ->
+        (match Eqn.row model ~effective registry ~paths with
+        | Some r -> acc := r :: !acc
+        | None -> ());
+        `Continue)
+  in
+  Array.of_list (List.rev !acc)
+
+let select ?(config = default_config) model obs =
+  let cfg = config in
+  let effective = Subsets.effective_links model obs in
+  let registry = Eqn.registry () in
+  (* Ê: every subset a single-path equation induces, plus the enumerated
+     target subsets up to the configured size. *)
+  let (_ : int) = Eqn.register_single_path_vars model ~effective registry in
+  let targets =
+    Subsets.enumerate model ~effective ~max_size:cfg.max_subset_size
+      ~limit_per_set:cfg.limit_per_set
+  in
+  List.iter (fun s -> ignore (Eqn.add registry s)) targets;
+  let n = Eqn.n_vars registry in
+  if n = 0 then
+    {
+      model;
+      effective;
+      registry;
+      rows = [||];
+      nullspace = Matrix.make 0 0 0.0;
+    }
+  else begin
+    let nullspace = ref (Matrix.identity n) in
+    let rows = ref [] in
+    let try_add row =
+      match
+        Nullspace.update_incidence ~tol:cfg.tol !nullspace row.Eqn.vars
+      with
+      | None -> false
+      | Some n' ->
+          nullspace := n';
+          rows := row :: !rows;
+          true
+    in
+    Log.debug (fun m ->
+        m "starting selection over %d unknowns (%d target subsets enumerated)"
+          n (List.length targets));
+    (* Lines 1-5: seed with Paths(E) \ Paths(Ē) for every subset E. *)
+    for v = 0 to n - 1 do
+      let s = Eqn.subset_of_var registry v in
+      let pool = Subsets.candidate_paths model ~effective s in
+      if not (Bitset.is_empty pool) then begin
+        let paths = Array.of_list (Bitset.to_list pool) in
+        match Eqn.row model ~effective registry ~paths with
+        | Some row -> ignore (try_add row)
+        | None -> ()
+      end
+    done;
+    (* Lines 8-22: grow the system guided by the null space. *)
+    let states =
+      Array.init n (fun _ -> { cands = None; cursor = 0 })
+    in
+    let hamming_weight v =
+      let w = ref 0 in
+      for k = 0 to Matrix.cols !nullspace - 1 do
+        if abs_float (Matrix.get !nullspace v k) > cfg.tol then incr w
+      done;
+      !w
+    in
+    let candidates_of v =
+      let st = states.(v) in
+      match st.cands with
+      | Some c -> c
+      | None ->
+          let s = Eqn.subset_of_var registry v in
+          let c = materialize_candidates cfg model ~effective registry s in
+          st.cands <- Some c;
+          c
+    in
+    let continue_ = ref true in
+    while !continue_ && Matrix.cols !nullspace > 0 do
+      (* SortByHammingWeight: try subsets whose N-row has the most
+         non-zero entries first. *)
+      let order =
+        Array.init n (fun v -> (v, hamming_weight v))
+      in
+      Array.sort (fun (_, a) (_, b) -> compare b a) order;
+      let progress = ref false in
+      let i = ref 0 in
+      while (not !progress) && !i < n do
+        let v, w = order.(!i) in
+        incr i;
+        if w > 0 then begin
+          let cands = candidates_of v in
+          let st = states.(v) in
+          while (not !progress) && st.cursor < Array.length cands do
+            let row = cands.(st.cursor) in
+            st.cursor <- st.cursor + 1;
+            if try_add row then progress := true
+          done
+        end
+      done;
+      if not !progress then continue_ := false
+    done;
+    let rows = Array.of_list (List.rev !rows) in
+    Log.debug (fun m ->
+        m
+          "selection done: %d effective links, %d unknowns, %d equations, \
+           nullity %d"
+          (Bitset.count effective) n (Array.length rows)
+          (Matrix.cols !nullspace));
+    { model; effective; registry; rows; nullspace = !nullspace }
+  end
+
+let identifiable sel v =
+  if Eqn.n_vars sel.registry = 0 then false
+  else Nullspace.in_row_space ~tol:1e-6 sel.nullspace v
+
+let n_identifiable sel =
+  let n = Eqn.n_vars sel.registry in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if identifiable sel v then incr count
+  done;
+  !count

@@ -1,0 +1,63 @@
+(** The paper's Algorithm 1: selection of path sets (§5.3).
+
+    The goal is a *minimum* set of linearly independent equations that
+    pins down as many correlation-subset good-probabilities as possible,
+    without enumerating all [2^{|P*|}] path sets:
+
+    + enumerate the potentially congested correlation subsets [Ê]
+      (variable registry; truncated to a configurable subset size — the
+      complexity-control knob of §4 — plus every subset a single-path
+      equation induces);
+    + seed [P̂] with one path set per subset [E]:
+      [Paths(E) \ Paths(Ē)] (lines 1–5);
+    + maintain a null-space basis [N] of the selected system and
+      repeatedly add a path set whose row reduces the null space, trying
+      subsets in decreasing Hamming weight of their [N]-row and, within a
+      subset [E], candidate path sets [P ⊆ Paths(E) \ Paths(Ē)] in
+      increasing size (lines 8–22); each accepted row updates [N]
+      incrementally via Algorithm 2 ({!Tomo_linalg.Nullspace.update});
+    + stop when [N] runs out of columns or no candidate makes progress.
+
+    Because the row space only ever grows, a candidate row once found
+    dependent stays dependent; each candidate is therefore visited at
+    most once across all outer iterations (a per-subset cursor), which
+    keeps the scan linear in the candidate budget. *)
+
+type config = {
+  max_subset_size : int;
+      (** largest correlation-subset size enumerated as a target
+          variable (default 3) *)
+  limit_per_set : int;
+      (** max target subsets per correlation set (default 500) *)
+  max_pathset_size : int;
+      (** largest candidate path set tried per subset (default 8;
+          the paper enumerates all subset sizes, accepting a [2^{n₂}]
+          term — this is the truncation that keeps it practical) *)
+  max_candidates_per_subset : int;
+      (** candidate path sets enumerated per subset (default 300) *)
+  tol : float;  (** numerical tolerance for rank decisions *)
+}
+
+val default_config : config
+
+type selection = {
+  model : Model.t;
+  effective : Tomo_util.Bitset.t;  (** potentially congested links *)
+  registry : Eqn.registry;
+  rows : Eqn.row array;  (** the selected, linearly independent system *)
+  nullspace : Tomo_linalg.Matrix.t;
+      (** basis of the null space of the selected system; a variable is
+          identifiable iff its row here is zero *)
+}
+
+(** [select ?config model obs] runs the algorithm.  [obs] is only used to
+    decide which paths are always good (potentially-congested analysis);
+    the selection itself is purely structural. *)
+val select : ?config:config -> Model.t -> Observations.t -> selection
+
+(** [identifiable sel v] tests whether variable [v] is uniquely
+    determined by the selected system. *)
+val identifiable : selection -> int -> bool
+
+(** [n_identifiable sel] counts identifiable variables. *)
+val n_identifiable : selection -> int

@@ -1,0 +1,47 @@
+module Rng = Tomo_util.Rng
+module Stats = Tomo_util.Stats
+
+type ci = { point : float; lo : float; hi : float }
+
+let validate ~resamples ~level =
+  if resamples < 2 then invalid_arg "Confidence: need >= 2 resamples";
+  if level <= 0.0 || level >= 1.0 then
+    invalid_arg "Confidence: level outside (0,1)"
+
+let replicate_engines engine ~resamples ~rng =
+  List.init resamples (fun _ ->
+      let obs' = Observations.resample engine.Prob_engine.obs rng in
+      Prob_engine.solve engine.Prob_engine.selection obs')
+
+let percentile samples ~level =
+  let alpha = (1.0 -. level) /. 2.0 in
+  (Stats.quantile samples alpha, Stats.quantile samples (1.0 -. alpha))
+
+let link_marginal_cis engine ~resamples ~level ~rng =
+  validate ~resamples ~level;
+  let replicates = replicate_engines engine ~resamples ~rng in
+  let model = engine.Prob_engine.selection.Algorithm1.model in
+  Array.init model.Model.n_links (fun e ->
+      let point = Prob_engine.link_marginal engine e in
+      let samples =
+        Array.of_list
+          (List.map (fun rep -> Prob_engine.link_marginal rep e) replicates)
+      in
+      let lo, hi = percentile samples ~level in
+      { point; lo; hi })
+
+let subset_good_prob_ci engine ~subset ~resamples ~level ~rng =
+  validate ~resamples ~level;
+  match Prob_engine.good_prob_est engine subset with
+  | None -> None
+  | Some point ->
+      let replicates = replicate_engines engine ~resamples ~rng in
+      let samples =
+        List.filter_map
+          (fun rep -> Prob_engine.good_prob_est rep subset)
+          replicates
+      in
+      if samples = [] then None
+      else
+        let lo, hi = percentile (Array.of_list samples) ~level in
+        Some { point; lo; hi }

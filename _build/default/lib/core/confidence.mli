@@ -1,0 +1,40 @@
+(** Bootstrap confidence intervals for estimated probabilities.
+
+    The paper reports point estimates; a practical monitoring tool also
+    needs error bars — an operator deciding whether to confront a peer
+    over an SLA should know whether "congested 12% of the time" could be
+    sampling noise.  We use the interval bootstrap: resample the [T]
+    observation intervals with replacement, re-solve the *same* selected
+    equation system (the structural selection is held fixed — a
+    conditional bootstrap), and read percentile intervals off the
+    replicate distribution. *)
+
+type ci = {
+  point : float;  (** estimate on the original observations *)
+  lo : float;
+  hi : float;
+}
+
+(** [link_marginal_cis engine ~resamples ~level ~rng] computes, for every
+    link, a [level] (e.g. [0.95]) percentile bootstrap interval around
+    the estimated congestion probability.  [resamples] replicates are
+    solved (50–200 is typical).
+    @raise Invalid_argument if [resamples < 2] or [level] outside
+    (0, 1). *)
+val link_marginal_cis :
+  Prob_engine.t ->
+  resamples:int ->
+  level:float ->
+  rng:Tomo_util.Rng.t ->
+  ci array
+
+(** [subset_good_prob_cis engine ~subset ~resamples ~level ~rng] is the
+    same for one correlation subset's good probability; [None] if the
+    subset is not a registered variable. *)
+val subset_good_prob_ci :
+  Prob_engine.t ->
+  subset:Subsets.t ->
+  resamples:int ->
+  level:float ->
+  rng:Tomo_util.Rng.t ->
+  ci option

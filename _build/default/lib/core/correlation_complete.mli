@@ -1,0 +1,23 @@
+(** Correlation-complete — the paper's contribution (§5): Probability
+    Computation under the Correlation Sets assumption, via Algorithm 1
+    (path-set selection) and Algorithm 2 (incremental null-space
+    maintenance).
+
+    Compared to the baselines it (paper §4):
+    - assumes only Separability, E2E Monitoring and Correlation Sets;
+    - solves no NP-complete problem (it never infers per-interval states);
+    - never approximates a random variable by its expected value — the
+      output *is* the long-run frequency;
+    - forms the minimum number of equations, which keeps sparse-topology
+      noise down;
+    - computes a configurable subset of the computable probabilities
+      (subset size cap) to control complexity. *)
+
+(** [compute ?config model obs] runs Algorithm 1 and solves the system.
+    Returns the per-link summary and the full engine, which additionally
+    answers subset good/congestion probability queries (Figure 4(d)). *)
+val compute :
+  ?config:Algorithm1.config ->
+  Model.t ->
+  Observations.t ->
+  Pc_result.t * Prob_engine.t

@@ -1,0 +1,62 @@
+module Bitset = Tomo_util.Bitset
+module Matrix = Tomo_linalg.Matrix
+module Nullspace = Tomo_linalg.Nullspace
+
+type config = { max_pairs : int }
+
+let default_config = { max_pairs = 30_000 }
+
+let compute ?(config = default_config) model obs =
+  let effective = Subsets.effective_links model obs in
+  let registry = Eqn.registry () in
+  let pools =
+    Baseline_rows.pools model ~effective ~max_pairs:config.max_pairs
+  in
+  let rows = ref [] in
+  Array.iter
+    (fun paths ->
+      match Eqn.row_grow model ~effective registry ~paths with
+      | Some row -> rows := row :: !rows
+      | None -> ())
+    pools;
+  let rows = Array.of_list (List.rev !rows) in
+  let n_vars = Eqn.n_vars registry in
+  (* Null space over the full (redundant) system: dependent rows leave it
+     unchanged, so folding the incidence update over every row is exact. *)
+  let nullspace =
+    Array.fold_left
+      (fun n row ->
+        match Nullspace.update_incidence n row.Eqn.vars with
+        | Some n' -> n'
+        | None -> n)
+      (Matrix.identity n_vars) rows
+  in
+  let selection =
+    {
+      Algorithm1.model;
+      effective;
+      registry;
+      rows;
+      nullspace;
+    }
+  in
+  let engine = Prob_engine.solve selection obs in
+  let n_links = model.Model.n_links in
+  (* The IMC'10 heuristic reports per-link probabilities with the crude
+     whole-subset rule for unexpressible singletons; Correlation-complete
+     refines that (chain splitting) — one of the reasons it does better
+     on sparse topologies. *)
+  let marginals =
+    Array.init n_links (Prob_engine.link_marginal ~chain_split:false engine)
+  in
+  let identifiable =
+    Array.init n_links (Prob_engine.link_identifiable engine)
+  in
+  ( {
+      Pc_result.marginals;
+      identifiable;
+      effective;
+      n_vars;
+      n_rows = Array.length rows;
+    },
+    engine )

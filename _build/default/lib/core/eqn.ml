@@ -1,0 +1,93 @@
+module Bitset = Tomo_util.Bitset
+
+type registry = {
+  by_key : (string, int) Hashtbl.t;
+  mutable subsets : Subsets.t option array;  (* dynamic array *)
+  mutable count : int;
+}
+
+let registry () =
+  { by_key = Hashtbl.create 256; subsets = Array.make 64 None; count = 0 }
+
+let n_vars reg = reg.count
+let find reg s = Hashtbl.find_opt reg.by_key (Subsets.key s)
+
+let add reg s =
+  let k = Subsets.key s in
+  match Hashtbl.find_opt reg.by_key k with
+  | Some v -> v
+  | None ->
+      let v = reg.count in
+      Hashtbl.add reg.by_key k v;
+      if v >= Array.length reg.subsets then begin
+        let grown = Array.make (2 * Array.length reg.subsets) None in
+        Array.blit reg.subsets 0 grown 0 (Array.length reg.subsets);
+        reg.subsets <- grown
+      end;
+      reg.subsets.(v) <- Some s;
+      reg.count <- v + 1;
+      v
+
+let subset_of_var reg v =
+  if v < 0 || v >= reg.count then
+    invalid_arg "Eqn.subset_of_var: unknown variable";
+  Option.get reg.subsets.(v)
+
+type row = { paths : int array; vars : int array }
+
+let induced_subsets model ~effective ~links =
+  let by_corr = Hashtbl.create 8 in
+  let order = ref [] in
+  Bitset.iter
+    (fun e ->
+      if Bitset.get effective e then begin
+        let c = model.Model.corr_of_link.(e) in
+        match Hashtbl.find_opt by_corr c with
+        | Some es -> Hashtbl.replace by_corr c (e :: es)
+        | None ->
+            Hashtbl.add by_corr c [ e ];
+            order := c :: !order
+      end)
+    links;
+  List.rev_map
+    (fun c ->
+      let es = Array.of_list (List.rev (Hashtbl.find by_corr c)) in
+      Subsets.make model ~corr:c es)
+    !order
+
+let build_row model ~effective reg ~paths ~lookup =
+  let links = Model.links_of_paths model paths in
+  let subsets = induced_subsets model ~effective ~links in
+  if subsets = [] then None
+  else begin
+    let rec resolve acc = function
+      | [] -> Some (List.rev acc)
+      | s :: rest -> (
+          match lookup reg s with
+          | Some v -> resolve (v :: acc) rest
+          | None -> None)
+    in
+    match resolve [] subsets with
+    | None -> None
+    | Some vars ->
+        let vars = Array.of_list vars in
+        Array.sort compare vars;
+        Some { paths; vars }
+  end
+
+let row model ~effective reg ~paths =
+  build_row model ~effective reg ~paths ~lookup:find
+
+let row_grow model ~effective reg ~paths =
+  build_row model ~effective reg ~paths ~lookup:(fun reg s ->
+      Some (add reg s))
+
+let register_single_path_vars model ~effective reg =
+  let before = n_vars reg in
+  for p = 0 to model.Model.n_paths - 1 do
+    let links = model.Model.path_links.(p) in
+    List.iter
+      (fun s -> ignore (add reg s))
+      (induced_subsets model ~effective ~links)
+  done;
+  n_vars reg - before

@@ -1,0 +1,33 @@
+module Bitset = Tomo_util.Bitset
+
+let detection_rate ~actual ~inferred =
+  let n_actual = Bitset.count actual in
+  if n_actual = 0 then None
+  else
+    Some
+      (float_of_int (Bitset.count_inter actual inferred)
+      /. float_of_int n_actual)
+
+let false_positive_rate ~actual ~inferred =
+  let n_inferred = Bitset.count inferred in
+  if n_inferred = 0 then None
+  else
+    let false_pos = Bitset.count (Bitset.diff inferred actual) in
+    Some (float_of_int false_pos /. float_of_int n_inferred)
+
+let mean_opt xs =
+  let defined = List.filter_map Fun.id xs in
+  match defined with
+  | [] -> None
+  | _ ->
+      Some
+        (List.fold_left ( +. ) 0.0 defined
+        /. float_of_int (List.length defined))
+
+let abs_errors ~truth ~estimate ~over =
+  Array.of_list
+    (List.map (fun e -> abs_float (truth.(e) -. estimate.(e))) over)
+
+let mean_abs_error ~truth ~estimate ~over =
+  if over = [] then invalid_arg "Metrics.mean_abs_error: empty link set";
+  Tomo_util.Stats.mean (abs_errors ~truth ~estimate ~over)

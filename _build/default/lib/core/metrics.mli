@@ -1,0 +1,37 @@
+(** Evaluation metrics (paper §3.2 and §5.4).
+
+    For Boolean Inference, per interval:
+    - detection rate — fraction of actually congested links the
+      algorithm identified;
+    - false-positive rate — fraction of links incorrectly identified as
+      congested out of all links the algorithm inferred as congested.
+
+    Both are undefined on degenerate intervals (no congested links / no
+    inferred links), which the paper averages over 1000 intervals; we
+    return [None] there and average over the defined ones.
+
+    For Probability Computation: mean absolute error between true and
+    estimated probabilities over the potentially congested links. *)
+
+(** [detection_rate ~actual ~inferred] — [None] when nothing was actually
+    congested. *)
+val detection_rate :
+  actual:Tomo_util.Bitset.t -> inferred:Tomo_util.Bitset.t -> float option
+
+(** [false_positive_rate ~actual ~inferred] — [None] when nothing was
+    inferred. *)
+val false_positive_rate :
+  actual:Tomo_util.Bitset.t -> inferred:Tomo_util.Bitset.t -> float option
+
+(** [mean_opt xs] averages the defined values; [None] if none are. *)
+val mean_opt : float option list -> float option
+
+(** [abs_errors ~truth ~estimate ~over] is [|truth.(e) − estimate.(e)|]
+    for each link in [over]. *)
+val abs_errors :
+  truth:float array -> estimate:float array -> over:int list -> float array
+
+(** [mean_abs_error ~truth ~estimate ~over] averages [abs_errors].
+    @raise Invalid_argument when [over] is empty. *)
+val mean_abs_error :
+  truth:float array -> estimate:float array -> over:int list -> float

@@ -1,0 +1,93 @@
+module Bitset = Tomo_util.Bitset
+
+type t = {
+  t_intervals : int;
+  path_good : Bitset.t array;
+  scratch : Bitset.t;  (* reused by all_good_count *)
+}
+
+let make ~t_intervals ~path_good =
+  if t_intervals <= 0 then invalid_arg "Observations.make: no intervals";
+  if Array.length path_good = 0 then
+    invalid_arg "Observations.make: no paths";
+  Array.iter
+    (fun b ->
+      if Bitset.length b <> t_intervals then
+        invalid_arg "Observations.make: status row has wrong capacity")
+    path_good;
+  { t_intervals; path_good; scratch = Bitset.create t_intervals }
+
+let t_intervals t = t.t_intervals
+let n_paths t = Array.length t.path_good
+
+let check_path t p =
+  if p < 0 || p >= n_paths t then
+    invalid_arg "Observations: path out of range"
+
+let good_in_interval t ~path ~interval =
+  check_path t path;
+  Bitset.get t.path_good.(path) interval
+
+let all_good_count t paths =
+  match Array.length paths with
+  | 0 -> t.t_intervals
+  | 1 ->
+      check_path t paths.(0);
+      Bitset.count t.path_good.(paths.(0))
+  | _ ->
+      check_path t paths.(0);
+      let acc = t.scratch in
+      Bitset.clear_all acc;
+      Bitset.union_into ~into:acc t.path_good.(paths.(0));
+      Array.iter
+        (fun p ->
+          check_path t p;
+          Bitset.inter_into ~into:acc t.path_good.(p))
+        paths;
+      Bitset.count acc
+
+let log_all_good_prob t paths =
+  let count = all_good_count t paths in
+  log
+    ((float_of_int count +. 0.5) /. (float_of_int t.t_intervals +. 1.0))
+
+let good_frac t ~path =
+  check_path t path;
+  float_of_int (Bitset.count t.path_good.(path))
+  /. float_of_int t.t_intervals
+
+let always_good t ~path =
+  check_path t path;
+  Bitset.count t.path_good.(path) = t.t_intervals
+
+let good_paths_at t ~interval =
+  if interval < 0 || interval >= t.t_intervals then
+    invalid_arg "Observations: interval out of range";
+  let b = Bitset.create (n_paths t) in
+  Array.iteri
+    (fun p row -> if Bitset.get row interval then Bitset.set b p)
+    t.path_good;
+  b
+
+let congested_paths_at t ~interval =
+  let good = good_paths_at t ~interval in
+  let b = Bitset.create (n_paths t) in
+  Bitset.set_all b;
+  Bitset.diff_into ~into:b good;
+  b
+
+let resample t rng =
+  let draw =
+    Array.init t.t_intervals (fun _ -> Tomo_util.Rng.int rng t.t_intervals)
+  in
+  let path_good =
+    Array.map
+      (fun row ->
+        let fresh = Bitset.create t.t_intervals in
+        Array.iteri
+          (fun dst src -> if Bitset.get row src then Bitset.set fresh dst)
+          draw;
+        fresh)
+      t.path_good
+  in
+  make ~t_intervals:t.t_intervals ~path_good

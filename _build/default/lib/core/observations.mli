@@ -1,0 +1,57 @@
+(** Path observations over [T] intervals and the empirical probability
+    estimates the equation systems are built from.
+
+    The observable input to every algorithm in the paper is, per interval
+    [t], which paths were good and which congested ([Y_p(t)],
+    Assumption 2).  From those, Probability Computation needs empirical
+    estimates of [P(∩_{p ∈ P} Y_p = 0)] — the probability that all paths
+    of a set were simultaneously good — which it takes logs of to get
+    linear equations (Eq. 1, footnote 3).
+
+    Frequencies are smoothed with an add-half (Krichevsky–Trofimov) rule,
+    [(count + 1/2) / (T + 1)], so the logarithm is defined even for path
+    sets never observed jointly good. *)
+
+type t
+
+(** [make ~t_intervals ~path_good] wraps per-path status rows: bit [t] of
+    [path_good.(p)] must be set iff path [p] was good during interval
+    [t].  @raise Invalid_argument if a row has the wrong capacity or
+    there are no paths/intervals. *)
+val make : t_intervals:int -> path_good:Tomo_util.Bitset.t array -> t
+
+val t_intervals : t -> int
+val n_paths : t -> int
+
+(** [good_in_interval t ~path ~interval]: status of one cell. *)
+val good_in_interval : t -> path:int -> interval:int -> bool
+
+(** [all_good_count t paths] is the number of intervals in which every
+    path in [paths] was good.  [all_good_count t [||]] = [t_intervals]. *)
+val all_good_count : t -> int array -> int
+
+(** [log_all_good_prob t paths] is [log ((count + 1/2) / (T + 1))] where
+    [count = all_good_count t paths]. *)
+val log_all_good_prob : t -> int array -> float
+
+(** [good_frac t ~path] is the unsmoothed fraction of intervals in which
+    the path was good. *)
+val good_frac : t -> path:int -> float
+
+(** [always_good t ~path] is [true] iff the path was good in every
+    interval — such paths certify all their links good (Separability). *)
+val always_good : t -> path:int -> bool
+
+(** [congested_paths_at t ~interval] is the set of paths congested during
+    one interval (the Boolean-Inference input [P^c(t)]). *)
+val congested_paths_at : t -> interval:int -> Tomo_util.Bitset.t
+
+(** [good_paths_at t ~interval] is its complement. *)
+val good_paths_at : t -> interval:int -> Tomo_util.Bitset.t
+
+(** [resample t rng] draws an interval bootstrap replicate: [T] intervals
+    sampled from [t] with replacement (iid resampling is consistent with
+    the paper's model of intervals as iid draws of the congestion
+    state).  Used by {!Confidence} to put error bars on estimated
+    probabilities. *)
+val resample : t -> Tomo_util.Rng.t -> t

@@ -1,0 +1,94 @@
+module Bitset = Tomo_util.Bitset
+
+let write ppf obs =
+  let n = Observations.n_paths obs in
+  let t = Observations.t_intervals obs in
+  Format.fprintf ppf "tomo-observations v1@.";
+  Format.fprintf ppf "paths %d intervals %d@." n t;
+  for p = 0 to n - 1 do
+    let buf = Bytes.make t '0' in
+    for i = 0 to t - 1 do
+      if Observations.good_in_interval obs ~path:p ~interval:i then
+        Bytes.set buf i '1'
+    done;
+    Format.fprintf ppf "row %d %s@." p (Bytes.to_string buf)
+  done
+
+let to_string obs =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  write ppf obs;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let of_string s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let fail line fmt =
+    Format.kasprintf
+      (fun msg -> failwith (Printf.sprintf "%s: %s" line msg))
+      fmt
+  in
+  let words l = String.split_on_char ' ' l |> List.filter (( <> ) "") in
+  let int_of l w =
+    match int_of_string_opt w with
+    | Some v -> v
+    | None -> fail l "expected integer, got %S" w
+  in
+  match lines with
+  | header :: rest when header = "tomo-observations v1" ->
+      let n_paths = ref 0 and t_intervals = ref 0 in
+      let rows = ref [] in
+      List.iter
+        (fun line ->
+          match words line with
+          | [ "paths"; n; "intervals"; t ] ->
+              n_paths := int_of line n;
+              t_intervals := int_of line t
+          | [ "row"; id; bits ] ->
+              if String.length bits <> !t_intervals then
+                fail line "expected %d status characters, got %d"
+                  !t_intervals (String.length bits);
+              let b = Bitset.create !t_intervals in
+              String.iteri
+                (fun i c ->
+                  match c with
+                  | '1' -> Bitset.set b i
+                  | '0' -> ()
+                  | c -> fail line "bad status character %C" c)
+                bits;
+              rows := (int_of line id, b) :: !rows
+          | _ -> fail line "unrecognized line")
+        rest;
+      if List.length !rows <> !n_paths then
+        failwith
+          (Printf.sprintf "expected %d rows, found %d" !n_paths
+             (List.length !rows));
+      let path_good = Array.make !n_paths (Bitset.create 1) in
+      List.iter
+        (fun (id, b) ->
+          if id < 0 || id >= !n_paths then
+            failwith (Printf.sprintf "row id %d out of range" id);
+          path_good.(id) <- b)
+        !rows;
+      Observations.make ~t_intervals:!t_intervals ~path_good
+  | header :: _ -> failwith ("unknown observations format: " ^ header)
+  | [] -> failwith "empty observations file"
+
+let save path obs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      write ppf obs;
+      Format.pp_print_flush ppf ())
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,24 @@
+(** Plain-text serialization of path observations.
+
+    Real deployments collect path statuses continuously; this format lets
+    a measurement pipeline hand data to the tomography engine (and lets
+    experiments archive what was observed).  Line-oriented, versioned:
+
+    {v
+    tomo-observations v1
+    paths <n> intervals <t>
+    row <path-id> <status-string>      (one per path)
+    v}
+
+    The status string has one character per interval, ['1'] = good,
+    ['0'] = congested. *)
+
+val write : Format.formatter -> Observations.t -> unit
+val to_string : Observations.t -> string
+
+(** [of_string s] parses and validates.
+    @raise Failure with a line-anchored message on malformed input. *)
+val of_string : string -> Observations.t
+
+val save : string -> Observations.t -> unit
+val load : string -> Observations.t

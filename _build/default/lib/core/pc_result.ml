@@ -1,0 +1,9 @@
+type t = {
+  marginals : float array;
+  identifiable : bool array;
+  effective : Tomo_util.Bitset.t;
+  n_vars : int;
+  n_rows : int;
+}
+
+let potentially_congested t = Tomo_util.Bitset.to_list t.effective

@@ -1,0 +1,306 @@
+module Bitset = Tomo_util.Bitset
+module Cgls = Tomo_linalg.Cgls
+
+type t = {
+  selection : Algorithm1.selection;
+  values : float array;
+  identifiable : bool array;
+  obs : Observations.t;
+}
+
+let solve (selection : Algorithm1.selection) obs =
+  let n = Eqn.n_vars selection.Algorithm1.registry in
+  let rows =
+    Array.map (fun r -> r.Eqn.vars) selection.Algorithm1.rows
+  in
+  let b =
+    Array.map
+      (fun r -> Observations.log_all_good_prob obs r.Eqn.paths)
+      selection.Algorithm1.rows
+  in
+  let values = Cgls.solve ~n_vars:n ~rows ~b () in
+  let identifiable =
+    Array.init n (fun v -> Algorithm1.identifiable selection v)
+  in
+  { selection; values; identifiable; obs }
+
+let clamp01 x = max 0.0 (min 1.0 x)
+
+let var_of t s = Eqn.find t.selection.Algorithm1.registry s
+
+let good_prob_est t s =
+  match var_of t s with
+  | None -> None
+  | Some v -> Some (clamp01 (exp t.values.(v)))
+
+let good_prob t s =
+  match var_of t s with
+  | Some v when t.identifiable.(v) -> Some (clamp01 (exp t.values.(v)))
+  | Some _ | None -> None
+
+let model t = t.selection.Algorithm1.model
+let effective t = t.selection.Algorithm1.effective
+
+(* Smallest registered subset containing link [e] (its own singleton if
+   registered). Returns the variable index. *)
+let smallest_var_containing t e =
+  let m = model t in
+  let c = m.Model.corr_of_link.(e) in
+  let singleton = Subsets.make m ~corr:c [| e |] in
+  match var_of t singleton with
+  | Some v -> Some v
+  | None ->
+      let best = ref None in
+      for v = 0 to Eqn.n_vars t.selection.Algorithm1.registry - 1 do
+        let s = Eqn.subset_of_var t.selection.Algorithm1.registry v in
+        if
+          s.Subsets.corr = c
+          && Array.exists (fun x -> x = e) s.Subsets.links
+        then
+          match !best with
+          | Some (_, size) when size <= Array.length s.Subsets.links -> ()
+          | _ -> best := Some (v, Array.length s.Subsets.links)
+      done;
+      Option.map fst !best
+
+(* Observable dependence between two links of a chain subset: pick
+   witness paths p ∋ a and q ∋ b sharing as few links as possible, and
+   measure the excess joint congestion of Y_p and Y_q over independence,
+   normalized by its maximum. 0 = the witnesses congest independently,
+   1 = they always congest together. *)
+let link_dependence t a b =
+  let m = model t in
+  let eff = effective t in
+  let best = ref None in
+  Bitset.iter
+    (fun p ->
+      Bitset.iter
+        (fun q ->
+          (* The witnesses must separate the two links: a path containing
+             both cannot tell their congestion apart. *)
+          if
+            p <> q
+            && (not (Bitset.get m.Model.path_links.(p) b))
+            && not (Bitset.get m.Model.path_links.(q) a)
+          then begin
+            (* Only shared *effective* links can fake a dependence
+               between the witnesses; exonerated shared links never
+               congest. *)
+            let shared_eff =
+              let inter =
+                Bitset.inter m.Model.path_links.(p) m.Model.path_links.(q)
+              in
+              Bitset.inter_into ~into:inter eff;
+              (* the links under test sit on both sides by construction,
+                 so discount them *)
+              Bitset.clear inter a;
+              Bitset.clear inter b;
+              Bitset.count inter
+            in
+            match !best with
+            | Some (_, _, s) when s <= shared_eff -> ()
+            | _ -> best := Some (p, q, shared_eff)
+          end)
+        m.Model.link_paths.(b))
+    m.Model.link_paths.(a);
+  match !best with
+  | None -> None
+  | Some (p, q, shared_eff) when shared_eff = 0 ->
+      let tt = float_of_int (Observations.t_intervals t.obs) in
+      let gp = float_of_int (Observations.all_good_count t.obs [| p |]) /. tt
+      and gq = float_of_int (Observations.all_good_count t.obs [| q |]) /. tt
+      and gpq =
+        float_of_int (Observations.all_good_count t.obs [| p; q |]) /. tt
+      in
+      let cp = 1.0 -. gp and cq = 1.0 -. gq in
+      let joint = 1.0 -. gp -. gq +. gpq in
+      let indep = cp *. cq in
+      let cap = min cp cq -. indep in
+      (* A small cap amplifies sampling noise into spurious dependence;
+         demand both a solid cap and a strong signal before leaving the
+         independent-split reading. *)
+      if cap <= 0.05 then Some 0.0
+      else
+        let rho = max 0.0 (min 1.0 ((joint -. indep) /. cap)) in
+        Some (if rho < 0.5 then 0.0 else rho)
+  | Some _ -> None (* no clean witnesses: stay with the split *)
+
+(* Quotient estimates for an inexpressible singleton: whenever two
+   variables B and B∪{e} are both identifiable, G_{B∪e}/G_B equals G_e
+   exactly when e shares no congestion cause with B — e.g. a destination
+   cluster where two paths branch after a common upstream link.  Collect
+   every such quotient and take the median. *)
+let quotient_good_prob t e =
+  let m = model t in
+  let reg = t.selection.Algorithm1.registry in
+  let c = m.Model.corr_of_link.(e) in
+  let quotients = ref [] in
+  for v = 0 to Eqn.n_vars reg - 1 do
+    if t.identifiable.(v) then begin
+      let s = Eqn.subset_of_var reg v in
+      if
+        s.Subsets.corr = c
+        && Array.length s.Subsets.links >= 2
+        && Array.exists (fun x -> x = e) s.Subsets.links
+      then begin
+        let b_links =
+          Array.of_list
+            (List.filter (fun x -> x <> e)
+               (Array.to_list s.Subsets.links))
+        in
+        match var_of t (Subsets.make m ~corr:c b_links) with
+        | Some vb when t.identifiable.(vb) ->
+            quotients := exp (t.values.(v) -. t.values.(vb)) :: !quotients
+        | Some _ | None -> ()
+      end
+    end
+  done;
+  match List.sort compare !quotients with
+  | [] -> None
+  | qs -> Some (clamp01 (List.nth qs (List.length qs / 2)))
+
+type fallback = [ `Whole | `Split | `Adaptive ]
+
+let link_marginal_with strategy t e =
+  let m = model t in
+  if e < 0 || e >= m.Model.n_links then
+    invalid_arg "Prob_engine.link_marginal: link out of range";
+  if not (Bitset.get (effective t) e) then 0.0
+  else
+    match smallest_var_containing t e with
+    | Some v -> (
+        let s = Eqn.subset_of_var t.selection.Algorithm1.registry v in
+        let size = Array.length s.Subsets.links in
+        if size = 1 then clamp01 (1.0 -. exp t.values.(v))
+        else
+          match strategy with
+          | `Whole -> clamp01 (1.0 -. exp t.values.(v))
+          | `Split ->
+              clamp01 (1.0 -. exp (t.values.(v) /. float_of_int size))
+          | `Adaptive -> (
+              (* Unidentifiable chain link. Observed witness-path
+                 dependence decides the reading: correlated chains take
+                 the whole-subset marginal; otherwise a quotient estimate
+                 if the branching structure offers one, else an even
+                 log-space split. *)
+              let rho =
+                Array.fold_left
+                  (fun acc x ->
+                    if x = e then acc
+                    else
+                      match link_dependence t e x with
+                      | Some d -> max acc d
+                      | None -> acc)
+                  0.0 s.Subsets.links
+              in
+              if rho >= 0.5 then
+                let k = float_of_int size in
+                let z = t.values.(v) *. (rho +. ((1.0 -. rho) /. k)) in
+                clamp01 (1.0 -. exp z)
+              else
+                match quotient_good_prob t e with
+                | Some g -> clamp01 (1.0 -. g)
+                | None ->
+                    let k = float_of_int size in
+                    clamp01 (1.0 -. exp (t.values.(v) /. k))))
+    | None -> 0.0
+
+let link_marginal ?(chain_split = true) t e =
+  link_marginal_with (if chain_split then `Adaptive else `Whole) t e
+
+let link_identifiable t e =
+  let m = model t in
+  if not (Bitset.get (effective t) e) then true
+  else
+    let c = m.Model.corr_of_link.(e) in
+    match var_of t (Subsets.make m ~corr:c [| e |]) with
+    | Some v -> t.identifiable.(v)
+    | None -> false
+
+(* Σ_{A ⊆ set} (−1)^{|A|} G(A ∪ base): the inclusion–exclusion core used
+   for both congestion probabilities and pattern probabilities. [get]
+   fetches a good-probability or None. *)
+let inclusion_exclusion ~get ~set ~base =
+  let k = Array.length set in
+  if k > 20 then invalid_arg "Prob_engine: subset too large";
+  let total = ref 0.0 in
+  (try
+     for mask = 0 to (1 lsl k) - 1 do
+       let members = ref (Array.to_list base) and bits = ref 0 in
+       for i = 0 to k - 1 do
+         if mask land (1 lsl i) <> 0 then begin
+           members := set.(i) :: !members;
+           incr bits
+         end
+       done;
+       let g =
+         match !members with
+         | [] -> Some 1.0
+         | ms -> get (Array.of_list ms)
+       in
+       match g with
+       | None -> raise Exit
+       | Some g ->
+           let sign = if !bits mod 2 = 0 then 1.0 else -1.0 in
+           total := !total +. (sign *. g)
+     done;
+     Some !total
+   with Exit -> None)
+
+let congestion_prob t ~corr links =
+  let m = model t in
+  (* Links outside the effective set are never congested: if any member
+     is not effective, the joint congestion probability is 0. *)
+  if Array.exists (fun e -> not (Bitset.get (effective t) e)) links then
+    Some 0.0
+  else
+    let get ms = good_prob t (Subsets.make m ~corr ms) in
+    Option.map clamp01 (inclusion_exclusion ~get ~set:links ~base:[||])
+
+let set_congestion_prob t links =
+  let m = model t in
+  let by_corr = Hashtbl.create 4 in
+  Array.iter
+    (fun e ->
+      let c = m.Model.corr_of_link.(e) in
+      let prev = try Hashtbl.find by_corr c with Not_found -> [] in
+      Hashtbl.replace by_corr c (e :: prev))
+    links;
+  Hashtbl.fold
+    (fun c es acc ->
+      match acc with
+      | None -> None
+      | Some p -> (
+          match congestion_prob t ~corr:c (Array.of_list es) with
+          | None -> None
+          | Some q -> Some (p *. q)))
+    by_corr (Some 1.0)
+
+let log_floor = log 1e-12
+
+let pattern_logprob t ~corr ~congested ~good =
+  let m = model t in
+  let exact =
+    let get ms = good_prob t (Subsets.make m ~corr ms) in
+    inclusion_exclusion ~get ~set:congested ~base:good
+  in
+  match exact with
+  | Some p when p > 0.0 -> max log_floor (log (min 1.0 p))
+  | Some _ -> log_floor
+  | None ->
+      (* Independence fallback from link marginals. *)
+      let acc = ref 0.0 in
+      Array.iter
+        (fun e ->
+          let p = min (1.0 -. 1e-12) (max 1e-12 (link_marginal t e)) in
+          acc := !acc +. log p)
+        congested;
+      Array.iter
+        (fun e ->
+          let p = min (1.0 -. 1e-12) (max 1e-12 (link_marginal t e)) in
+          acc := !acc +. log (1.0 -. p))
+        good;
+      max log_floor !acc
+
+let n_rows t = Array.length t.selection.Algorithm1.rows
+let n_vars t = Eqn.n_vars t.selection.Algorithm1.registry

@@ -1,0 +1,94 @@
+(** Solving the Probability Computation system and reading probabilities
+    out of it (paper §5.3–5.4).
+
+    Given the path sets selected by {!Algorithm1}, each contributes one
+    linear equation in the logs of the subset good-probabilities; the
+    right-hand sides are the (smoothed) empirical log-frequencies from
+    {!Observations}.  The system is solved by minimum-norm least squares
+    ({!Tomo_linalg.Cgls}); variables whose null-space row vanishes are
+    uniquely determined ("identifiable"), the rest are reported from the
+    minimum-norm solution and flagged.
+
+    From the good probabilities, congestion probabilities of link sets
+    follow by inclusion–exclusion within a correlation set and by
+    independence across correlation sets (Assumption 5). *)
+
+type t = {
+  selection : Algorithm1.selection;
+  values : float array;  (** per variable: log good-probability *)
+  identifiable : bool array;  (** per variable *)
+  obs : Observations.t;
+      (** kept for the fallback marginal's observable dependence test *)
+}
+
+(** [solve selection obs] estimates every variable of the selected
+    system. *)
+val solve : Algorithm1.selection -> Observations.t -> t
+
+(** [good_prob t s] is [P(all links of s good)] if [s] is a registered,
+    identifiable variable. *)
+val good_prob : t -> Subsets.t -> float option
+
+(** [good_prob_est t s] also answers for registered but unidentifiable
+    variables, from the minimum-norm solution. *)
+val good_prob_est : t -> Subsets.t -> float option
+
+(** Fallback strategy for links whose singleton good-probability is not
+    expressible (chain links).  [`Whole] reports the containing subset's
+    marginal (the Correlation-heuristic rule — biased up); [`Split]
+    splits the subset's log good-probability evenly (unbiased for
+    independent-alike chains, biased down for correlated ones);
+    [`Adaptive] (the default) interpolates using the observed
+    co-congestion of separating witness paths and quotient estimates
+    from identifiable super/sub-set pairs. *)
+type fallback = [ `Whole | `Split | `Adaptive ]
+
+(** [link_marginal ?chain_split t e] is the link's congestion probability
+    [P(X_e = 1)]:
+    - [0] for links outside the potentially congested set (they are
+      certified good or unobserved);
+    - [1 − exp z] for a registered singleton;
+    - for an effective link whose singleton was never expressible (e.g. a
+      chain link always observed together with a neighbour), a fallback
+      from the smallest registered subset [S] containing it: with
+      [chain_split] (default), the subset's log good-probability is
+      split evenly across its links ([1 − G_S^{1/|S|}] — unbiased for
+      independent-alike chains); without it, the raw subset marginal
+      [1 − G_S] (the cruder rule the Correlation-heuristic baseline
+      uses).  Either way the link is flagged unidentifiable. *)
+val link_marginal : ?chain_split:bool -> t -> int -> float
+
+(** [link_marginal_with strategy t e] selects the chain-link fallback
+    explicitly (the ablation knob behind [tomo_cli fallback]);
+    [link_marginal] is [`Adaptive] / [`Whole] via [chain_split]. *)
+val link_marginal_with : fallback -> t -> int -> float
+
+(** [link_identifiable t e] is [true] iff [link_marginal] returned a
+    uniquely determined value (always-good links count as
+    identifiable). *)
+val link_identifiable : t -> int -> bool
+
+(** [congestion_prob t ~corr links] is [P(all links congested)] for a set
+    of links in one correlation set, by inclusion–exclusion; [None] if a
+    needed good-probability is not identifiable. *)
+val congestion_prob : t -> corr:int -> int array -> float option
+
+(** [set_congestion_prob t links] generalizes to links spanning several
+    correlation sets (independent across sets, so probabilities
+    multiply). *)
+val set_congestion_prob : t -> int array -> float option
+
+(** [pattern_logprob t ~corr ~congested ~good] is
+    [log P(∩ congested X=1, ∩ good X=0)] within a correlation set —
+    the building block of the Bayesian-Correlation MAP scoring.  Uses
+    exact inclusion–exclusion when every needed good-probability is
+    identifiable, otherwise an independence approximation from the link
+    marginals.  The result is clamped to [log 1e-12]. *)
+val pattern_logprob :
+  t -> corr:int -> congested:int array -> good:int array -> float
+
+(** [n_rows t] / [n_vars t]: system dimensions (reported by the
+    experiments, cf. the paper's "minimum number of equations" claim). *)
+val n_rows : t -> int
+
+val n_vars : t -> int

@@ -1,0 +1,99 @@
+module Bitset = Tomo_util.Bitset
+
+type t = {
+  parent : int option array;
+  children : int list array;
+  leaves : int array;  (* sorted; leaf index = path id *)
+}
+
+let make ~parent =
+  let n = Array.length parent in
+  if n = 0 then invalid_arg "Scfs.make: empty forest";
+  Array.iter
+    (function
+      | Some p when p < 0 || p >= n ->
+          invalid_arg "Scfs.make: parent out of range"
+      | _ -> ())
+    parent;
+  (* Cycle check: walking up from any link must reach a root within n
+     steps. *)
+  Array.iteri
+    (fun k _ ->
+      let rec climb node steps =
+        if steps > n then invalid_arg "Scfs.make: cycle in parent relation"
+        else
+          match parent.(node) with
+          | None -> ()
+          | Some p -> climb p (steps + 1)
+      in
+      climb k 0)
+    parent;
+  let children = Array.make n [] in
+  Array.iteri
+    (fun k -> function
+      | Some p -> children.(p) <- k :: children.(p)
+      | None -> ())
+    parent;
+  let leaves =
+    Array.of_list
+      (List.filter
+         (fun k -> children.(k) = [])
+         (List.init n (fun k -> k)))
+  in
+  { parent; children; leaves }
+
+let n_links t = Array.length t.parent
+let leaves t = t.leaves
+
+let path_links t ~leaf =
+  if not (Array.exists (fun k -> k = leaf) t.leaves) then
+    invalid_arg "Scfs.path_links: not a leaf";
+  let rec climb node acc =
+    match t.parent.(node) with
+    | None -> node :: acc
+    | Some p -> climb p (node :: acc)
+  in
+  Array.of_list (climb leaf [])
+
+let to_model t =
+  let paths =
+    Array.map (fun leaf -> path_links t ~leaf) t.leaves
+  in
+  let corr_sets =
+    Array.init (n_links t) (fun k -> [| k |])
+  in
+  Model.make ~n_links:(n_links t) ~paths ~corr_sets
+
+let infer t ~congested_paths =
+  let n = n_links t in
+  if Bitset.length congested_paths <> Array.length t.leaves then
+    invalid_arg "Scfs.infer: observation size mismatch";
+  (* all_bad.(k): every leaf in k's subtree is congested. Computed
+     bottom-up; leaves read the observation directly. *)
+  let all_bad = Array.make n false in
+  let rec compute k =
+    match t.children.(k) with
+    | [] ->
+        let idx = ref (-1) in
+        Array.iteri (fun i l -> if l = k then idx := i) t.leaves;
+        all_bad.(k) <- Bitset.get congested_paths !idx;
+        all_bad.(k)
+    | kids ->
+        (* materialize first: for_all would short-circuit and leave
+           sibling subtrees uncomputed *)
+        let results = List.map compute kids in
+        let bad = List.for_all Fun.id results in
+        all_bad.(k) <- bad;
+        bad
+  in
+  Array.iteri
+    (fun k -> function None -> ignore (compute k) | Some _ -> ())
+    t.parent;
+  let inferred = Bitset.create n in
+  for k = 0 to n - 1 do
+    let parent_all_bad =
+      match t.parent.(k) with None -> false | Some p -> all_bad.(p)
+    in
+    if all_bad.(k) && not parent_all_bad then Bitset.set inferred k
+  done;
+  inferred

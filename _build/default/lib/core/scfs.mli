@@ -1,0 +1,48 @@
+(** Duffield's tree algorithm — the Smallest Consistent Failure Set
+    (reference [8] of the paper, "Network Tomography of Binary Network
+    Performance Characteristics").
+
+    The paper's Sparsity baseline is "an adaptation of Duffield's
+    inference algorithm for trees to mesh networks"; this module provides
+    the original: measurements flow from one root to many leaves over a
+    logical tree, each leaf observes its root-to-leaf path, and the
+    smallest set of link failures consistent with the observation is
+
+    - a link is inferred congested iff every leaf below it is congested
+      and its parent (if any) has at least one good leaf below it,
+
+    i.e. the maximal all-bad subtrees are blamed on their root links.
+    SCFS is exact when failures are sparse in the tree sense and — like
+    every Boolean method the paper studies — under-counts when a failed
+    link's whole sibling subtree fails too.  Useful both as the
+    historical baseline and as a fast special case when a measurement
+    campaign really is a tree (single vantage point). *)
+
+type t
+
+(** [make ~parent] builds a link tree: [parent.(k)] is the parent link of
+    [k] ([None] for links attached to the root).  Leaves are the links
+    with no children; each leaf [k] defines one measurement path (the
+    links from the root to [k]).
+    @raise Invalid_argument on cycles, out-of-range parents, or an empty
+    forest. *)
+val make : parent:int option array -> t
+
+val n_links : t -> int
+
+(** [leaves t] is the sorted array of leaf links; leaf index [i] in this
+    array is path [i]. *)
+val leaves : t -> int array
+
+(** [path_links t ~leaf] is the root-to-leaf link sequence of a leaf. *)
+val path_links : t -> leaf:int -> int array
+
+(** [to_model t] is the equivalent mesh {!Model} (one path per leaf, one
+    correlation set per link), so the paper's mesh algorithms can run on
+    tree instances for comparison. *)
+val to_model : t -> Model.t
+
+(** [infer t ~congested_paths] is the Smallest Consistent Failure Set
+    for one interval's observation ([congested_paths] indexed like
+    {!leaves}). *)
+val infer : t -> congested_paths:Tomo_util.Bitset.t -> Tomo_util.Bitset.t

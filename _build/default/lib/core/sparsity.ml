@@ -1,0 +1,41 @@
+module Bitset = Tomo_util.Bitset
+
+let infer model ~congested_paths ~good_paths =
+  let n_links = model.Model.n_links in
+  let good_links = Model.links_of_paths model
+      (Array.of_list (Bitset.to_list good_paths))
+  in
+  (* Candidates: links on some congested path that are not certified
+     good. *)
+  let candidates = ref [] in
+  for e = 0 to n_links - 1 do
+    if
+      (not (Bitset.get good_links e))
+      && not (Bitset.disjoint model.Model.link_paths.(e) congested_paths)
+    then candidates := e :: !candidates
+  done;
+  let candidates = Array.of_list (List.rev !candidates) in
+  let uncovered = Bitset.copy congested_paths in
+  let solution = Bitset.create n_links in
+  let continue_ = ref true in
+  while !continue_ && not (Bitset.is_empty uncovered) do
+    (* Greedy choice: the candidate covering the most uncovered congested
+       paths; ties go to the lower link id (stable order). *)
+    let best = ref (-1) and best_cover = ref 0 in
+    Array.iter
+      (fun e ->
+        if not (Bitset.get solution e) then begin
+          let cover = Bitset.count_inter model.Model.link_paths.(e) uncovered in
+          if cover > !best_cover then begin
+            best := e;
+            best_cover := cover
+          end
+        end)
+      candidates;
+    if !best < 0 then continue_ := false
+    else begin
+      Bitset.set solution !best;
+      Bitset.diff_into ~into:uncovered model.Model.link_paths.(!best)
+    end
+  done;
+  solution

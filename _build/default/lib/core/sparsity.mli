@@ -1,0 +1,26 @@
+(** The Sparsity inference algorithm (paper §3: "Tomo" [6], Duffield's
+    tree algorithm [8] adapted to mesh networks).
+
+    Given one interval's observation — which paths were congested, which
+    good — it infers a small set of congested links:
+
+    - every link on a good path is good (Separability);
+    - among the remaining candidates, greedily pick the link that covers
+      the most still-uncovered congested paths (ties broken toward the
+      lower link id), until every congested path is explained.
+
+    Its characteristic failure (paper §3.1): assuming Homogeneity it
+    favours links shared by many congested paths — core links — so with
+    congestion concentrated at the network edge it blames cores it
+    shouldn't and misses edges it should. *)
+
+(** [infer model ~congested_paths ~good_paths] returns the inferred
+    congested links as a bit set.  Congested paths none of whose
+    candidate links remain (possible only under noisy measurement, where
+    a path may be flagged congested while all its links lie on good
+    paths) are left uncovered. *)
+val infer :
+  Model.t ->
+  congested_paths:Tomo_util.Bitset.t ->
+  good_paths:Tomo_util.Bitset.t ->
+  Tomo_util.Bitset.t

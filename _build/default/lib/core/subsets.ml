@@ -1,0 +1,103 @@
+module Bitset = Tomo_util.Bitset
+module Combin = Tomo_util.Combin
+
+type t = { corr : int; links : int array }
+
+let make model ~corr links =
+  if Array.length links = 0 then invalid_arg "Subsets.make: empty subset";
+  if corr < 0 || corr >= Model.n_corr_sets model then
+    invalid_arg "Subsets.make: bad correlation set";
+  let sorted = Array.copy links in
+  Array.sort compare sorted;
+  Array.iteri
+    (fun i e ->
+      if i > 0 && sorted.(i - 1) = e then
+        invalid_arg "Subsets.make: duplicate link";
+      if model.Model.corr_of_link.(e) <> corr then
+        invalid_arg "Subsets.make: link outside correlation set")
+    sorted;
+  { corr; links = sorted }
+
+let compare a b =
+  match Stdlib.compare a.corr b.corr with
+  | 0 -> Stdlib.compare a.links b.links
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let key s =
+  Printf.sprintf "%d:%s" s.corr
+    (String.concat "," (Array.to_list (Array.map string_of_int s.links)))
+
+let pp ppf s =
+  Format.fprintf ppf "{C%d:%a}" s.corr
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list s.links)
+
+let effective_links model obs =
+  let n_links = model.Model.n_links in
+  let eff = Bitset.create n_links in
+  (* Start from links that are observed at all. *)
+  for e = 0 to n_links - 1 do
+    if not (Bitset.is_empty model.Model.link_paths.(e)) then Bitset.set eff e
+  done;
+  (* Remove links certified good by an always-good path. *)
+  for p = 0 to model.Model.n_paths - 1 do
+    if Observations.always_good obs ~path:p then
+      Bitset.diff_into ~into:eff model.Model.path_links.(p)
+  done;
+  eff
+
+let effective_corr_set model ~effective c =
+  Array.of_list
+    (List.filter
+       (fun e -> Bitset.get effective e)
+       (Array.to_list (Model.corr_set_links model c)))
+
+let complement model ~effective s =
+  let in_subset = Hashtbl.create 8 in
+  Array.iter (fun e -> Hashtbl.add in_subset e ()) s.links;
+  Array.of_list
+    (List.filter
+       (fun e -> not (Hashtbl.mem in_subset e))
+       (Array.to_list (effective_corr_set model ~effective s.corr)))
+
+let candidate_paths model ~effective s =
+  let pool = Model.paths_of_links model s.links in
+  let comp = complement model ~effective s in
+  Bitset.diff_into ~into:pool (Model.paths_of_links model comp);
+  pool
+
+let inducible model ~effective s =
+  let pool = candidate_paths model ~effective s in
+  Array.for_all
+    (fun e -> not (Bitset.disjoint pool model.Model.link_paths.(e)))
+    s.links
+
+let enumerate model ~effective ~max_size ~limit_per_set =
+  if max_size < 1 then invalid_arg "Subsets.enumerate: max_size < 1";
+  if limit_per_set < 1 then invalid_arg "Subsets.enumerate: bad limit";
+  let acc = ref [] in
+  for c = 0 to Model.n_corr_sets model - 1 do
+    let eff = effective_corr_set model ~effective c in
+    if Array.length eff > 0 then begin
+      let found = ref 0 in
+      let (_ : int) =
+        Combin.iter_subsets_by_size eff ~max_size
+          ~limit:(limit_per_set * 4) (fun links ->
+            if !found >= limit_per_set then `Stop
+            else begin
+              let s = make model ~corr:c links in
+              if inducible model ~effective s then begin
+                acc := s :: !acc;
+                incr found
+              end;
+              `Continue
+            end)
+      in
+      ()
+    end
+  done;
+  List.rev !acc

@@ -1,0 +1,38 @@
+module Bitset = Tomo_util.Bitset
+
+let e1 = 0
+let e2 = 1
+let e3 = 2
+let e4 = 3
+let p1 = 0
+let p2 = 1
+let p3 = 2
+
+let paths = [| [| e1; e2 |]; [| e1; e3 |]; [| e4; e3 |] |]
+
+let case1 () =
+  Model.make ~n_links:4 ~paths
+    ~corr_sets:[| [| e1 |]; [| e2; e3 |]; [| e4 |] |]
+
+let case2 () =
+  Model.make ~n_links:4 ~paths ~corr_sets:[| [| e1; e4 |]; [| e2; e3 |] |]
+
+let observations ~interval_states =
+  let t_intervals = Array.length interval_states in
+  if t_intervals = 0 then invalid_arg "Toy.observations: no intervals";
+  let path_good =
+    Array.map
+      (fun links ->
+        let b = Bitset.create t_intervals in
+        Array.iteri
+          (fun t congested ->
+            let path_congested =
+              List.exists (fun e -> Array.exists (fun l -> l = e) links)
+                congested
+            in
+            if not path_congested then Bitset.set b t)
+          interval_states;
+        b)
+      paths
+  in
+  Observations.make ~t_intervals ~path_good

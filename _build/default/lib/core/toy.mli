@@ -1,0 +1,35 @@
+(** The paper's running example: the toy topology of Figure 1.
+
+    Links [E* = {e1, e2, e3, e4}] (ids 0–3 here), paths
+    [P* = {p1, p2, p3}] (ids 0–2) with [p1 = (e1, e2)],
+    [p2 = (e1, e3)], [p3 = (e4, e3)].
+
+    Case 1: correlation sets [{e1}, {e2, e3}, {e4}].
+    Case 2: correlation sets [{e1, e4}, {e2, e3}] — the example where
+    Identifiability++ fails: [{e1, e4}] and [{e2, e3}] are traversed by
+    the same paths, so their good probabilities cannot be told apart.
+
+    Used by the unit tests to reproduce every worked computation in the
+    paper (coverage tables, the Fig. 2(b) equation system, the Case-2
+    non-identifiability, the Sparsity counter-example) and by the
+    quickstart example. *)
+
+val e1 : int
+val e2 : int
+val e3 : int
+val e4 : int
+val p1 : int
+val p2 : int
+val p3 : int
+
+(** [case1 ()] / [case2 ()] build the model with the respective
+    correlation sets. *)
+val case1 : unit -> Model.t
+
+val case2 : unit -> Model.t
+
+(** [observations ~t_intervals ~interval_states] builds observations for
+    this topology from explicit per-interval congested-link lists, using
+    exact Separability (a path is good iff none of its links is listed).
+    Handy for scripted tests. *)
+val observations : interval_states:int list array -> Observations.t

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Fig4 Format List String Tomo Tomo_netsim Tomo_util Unix Workload

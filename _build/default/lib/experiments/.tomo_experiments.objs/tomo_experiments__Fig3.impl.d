@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array List Option Tomo Tomo_netsim Tomo_util Workload

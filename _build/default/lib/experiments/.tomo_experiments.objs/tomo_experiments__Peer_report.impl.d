@@ -1,0 +1,1 @@
+lib/experiments/peer_report.ml: Array Format List String Tomo Tomo_topology

@@ -1,0 +1,1 @@
+lib/experiments/peer_report.mli: Format Tomo Tomo_topology Tomo_util

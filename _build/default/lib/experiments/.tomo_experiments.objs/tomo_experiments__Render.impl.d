@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Fig3 Fig4 Format Fun List String

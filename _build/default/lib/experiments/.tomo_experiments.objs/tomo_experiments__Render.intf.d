@@ -1,0 +1,1 @@
+lib/experiments/render.mli: Fig3 Fig4 Format

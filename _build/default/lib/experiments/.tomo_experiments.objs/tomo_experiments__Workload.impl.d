@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Array Printf Tomo Tomo_netsim Tomo_topology Tomo_util

@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Tomo Tomo_netsim Tomo_topology

@@ -1,0 +1,73 @@
+(** Ablations and sensitivity experiments beyond the paper's figures.
+
+    These exercise design choices the paper discusses but does not plot:
+
+    - {b Subset-size budget} (§4): "we can configure our algorithm to
+      compute only the congestion probability of each individual link,
+      or the congestion probability of each set of one, two, or three
+      links. This allows us to control the complexity of the algorithm."
+      [subset_size_sweep] measures accuracy, system size and runtime as
+      the budget grows.
+    - {b Measurement noise} (§2): E2E Monitoring is an assumption;
+      real probing "may incur false negatives and false positives".
+      [probe_sweep] re-runs a Probability Computation cell under
+      packet-level probing with decreasing probe budgets.
+    - {b Estimation convergence}: accuracy of Correlation-complete as a
+      function of the experiment length [T] (the paper fixes T = 1000).
+      [interval_sweep].
+    - {b Incremental null space} (Algorithm 2): cost of Algorithm 1 with
+      the incremental update vs recomputing a basis per accepted row is
+      covered by the micro-benchmarks in [bench/main.exe]. *)
+
+type subset_row = {
+  max_subset_size : int;
+  n_vars : int;
+  n_rows : int;
+  n_identifiable : int;
+  links_mae : float;
+  seconds : float;
+}
+
+(** [subset_size_sweep ~scale ~seed ~sizes] runs Correlation-complete on
+    the (No-Independence, Brite) cell with each subset-size budget. *)
+val subset_size_sweep :
+  scale:Workload.scale -> seed:int -> sizes:int list -> subset_row list
+
+type probe_row = {
+  probes_per_path : int option;  (** [None] = ideal measurement *)
+  status_flip_frac : float;
+      (** fraction of (path, interval) statuses that differ from ideal *)
+  links_mae : float;
+}
+
+(** [probe_sweep ~scale ~seed ~budgets] runs the (Random, Brite) cell
+    under ideal measurement and under probing with each budget. *)
+val probe_sweep :
+  scale:Workload.scale -> seed:int -> budgets:int list -> probe_row list
+
+type fallback_row = {
+  strategy : string;
+  fallback_links : int;  (** links answered by the fallback *)
+  fallback_mae : float;  (** error over those links only *)
+  overall_mae : float;
+}
+
+(** [fallback_sweep ~scale ~seed] compares the chain-link fallback
+    strategies of {!Tomo.Prob_engine.link_marginal_with} on the
+    (No-Independence, Sparse) cell — the regime with the most
+    unidentifiable chains. *)
+val fallback_sweep :
+  scale:Workload.scale -> seed:int -> fallback_row list
+
+type interval_row = { t_intervals : int; links_mae : float }
+
+(** [interval_sweep ~scale ~seed ~lengths] measures Correlation-complete
+    accuracy against experiment length on the (No-Independence, Brite)
+    cell. *)
+val interval_sweep :
+  scale:Workload.scale -> seed:int -> lengths:int list -> interval_row list
+
+val render_subset_rows : Format.formatter -> subset_row list -> unit
+val render_fallback_rows : Format.formatter -> fallback_row list -> unit
+val render_probe_rows : Format.formatter -> probe_row list -> unit
+val render_interval_rows : Format.formatter -> interval_row list -> unit

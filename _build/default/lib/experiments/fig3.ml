@@ -1,0 +1,116 @@
+module Bitset = Tomo_util.Bitset
+module Scenario = Tomo_netsim.Scenario
+
+type algorithm = Sparsity | Bayesian_independence | Bayesian_correlation
+
+let algorithm_to_string = function
+  | Sparsity -> "Sparsity"
+  | Bayesian_independence -> "Bayesian-Independence"
+  | Bayesian_correlation -> "Bayesian-Correlation"
+
+let algorithms = [ Sparsity; Bayesian_independence; Bayesian_correlation ]
+
+type cell = { detection : float; false_positive : float }
+type row = { label : string; cells : (algorithm * cell) list }
+
+let scenarios ~scale ~seed =
+  [
+    ( "Random Congestion",
+      Workload.spec ~scale ~seed Workload.Brite Scenario.Random );
+    ( "Concentrated Congestion",
+      Workload.spec ~scale ~seed Workload.Brite Scenario.Concentrated );
+    ( "No Independence",
+      Workload.spec ~scale ~seed Workload.Brite Scenario.No_independence );
+    ( "No Stationarity",
+      Workload.spec ~scale ~seed ~nonstationary:true Workload.Brite
+        Scenario.No_independence );
+    ( "Sparse Topology",
+      Workload.spec ~scale ~seed Workload.Sparse Scenario.Random );
+  ]
+
+let run_cell (w : Workload.prepared) algorithm =
+  let model = w.Workload.model and obs = w.Workload.obs in
+  (* Probability Computation happens once, over the whole experiment —
+     exactly how CLINK-style algorithms operate. *)
+  let infer =
+    match algorithm with
+    | Sparsity ->
+        fun ~congested_paths ~good_paths ->
+          Tomo.Sparsity.infer model ~congested_paths ~good_paths
+    | Bayesian_independence ->
+        let pc = Tomo.Independence_pc.compute model obs in
+        fun ~congested_paths ~good_paths ->
+          Tomo.Bayesian.infer_independence model
+            ~marginals:pc.Tomo.Pc_result.marginals ~congested_paths
+            ~good_paths
+    | Bayesian_correlation ->
+        let _, engine = Tomo.Correlation_complete.compute model obs in
+        fun ~congested_paths ~good_paths ->
+          Tomo.Bayesian.infer_correlation model ~engine ~congested_paths
+            ~good_paths
+  in
+  let t = Tomo.Observations.t_intervals obs in
+  let detections = ref [] and false_positives = ref [] in
+  for interval = 0 to t - 1 do
+    let congested_paths =
+      Tomo.Observations.congested_paths_at obs ~interval
+    in
+    let good_paths = Tomo.Observations.good_paths_at obs ~interval in
+    let inferred = infer ~congested_paths ~good_paths in
+    let actual = w.Workload.run.Tomo_netsim.Run.link_congested.(interval) in
+    detections := Tomo.Metrics.detection_rate ~actual ~inferred :: !detections;
+    false_positives :=
+      Tomo.Metrics.false_positive_rate ~actual ~inferred :: !false_positives
+  done;
+  let mean l = Option.value ~default:0.0 (Tomo.Metrics.mean_opt l) in
+  { detection = mean !detections; false_positive = mean !false_positives }
+
+let run ~scale ~seed =
+  List.map
+    (fun (label, spec) ->
+      let w = Workload.prepare spec in
+      let cells = List.map (fun a -> (a, run_cell w a)) algorithms in
+      { label; cells })
+    (scenarios ~scale ~seed)
+
+let run_averaged ~scale ~seeds =
+  match seeds with
+  | [] -> invalid_arg "Fig3.run_averaged: no seeds"
+  | first :: rest ->
+      let acc = run ~scale ~seed:first in
+      let add rows rows' =
+        List.map2
+          (fun r r' ->
+            {
+              r with
+              cells =
+                List.map2
+                  (fun (a, c) (_, c') ->
+                    ( a,
+                      {
+                        detection = c.detection +. c'.detection;
+                        false_positive = c.false_positive +. c'.false_positive;
+                      } ))
+                  r.cells r'.cells;
+            })
+          rows rows'
+      in
+      let total =
+        List.fold_left (fun acc seed -> add acc (run ~scale ~seed)) acc rest
+      in
+      let n = float_of_int (List.length seeds) in
+      List.map
+        (fun r ->
+          {
+            r with
+            cells =
+              List.map
+                (fun (a, c) ->
+                  ( a,
+                    {
+                      detection = c.detection /. n;
+                      false_positive = c.false_positive /. n;
+                    } ))
+                r.cells;
+          })
+        total

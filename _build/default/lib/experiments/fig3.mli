@@ -1,0 +1,44 @@
+(** Figure 3: performance of Boolean Inference algorithms under the
+    paper's five congestion scenarios.
+
+    Scenarios (all with 10% congestible links):
+    - Random Congestion (Brite)
+    - Concentrated Congestion (Brite, edge links)
+    - No Independence (Brite, correlated links)
+    - No Stationarity (Brite, correlated + probabilities redrawn)
+    - Sparse Topology (Sparse, random congestion)
+
+    Algorithms: Sparsity, Bayesian-Independence, Bayesian-Correlation.
+    Metrics: detection rate (Fig. 3a) and false-positive rate (Fig. 3b),
+    averaged over all intervals of the experiment. *)
+
+type algorithm = Sparsity | Bayesian_independence | Bayesian_correlation
+
+val algorithm_to_string : algorithm -> string
+val algorithms : algorithm list
+
+type cell = { detection : float; false_positive : float }
+
+type row = {
+  label : string;
+  cells : (algorithm * cell) list;
+}
+
+(** [scenarios ~scale ~seed] is the five-column scenario list of the
+    figure. *)
+val scenarios : scale:Workload.scale -> seed:int -> (string * Workload.spec) list
+
+(** [run_cell prepared algorithm] scores one (scenario, algorithm) cell:
+    runs the algorithm's probability-computation step once over the whole
+    experiment (Bayesian variants), then infers per interval and averages
+    detection / false-positive rates. *)
+val run_cell : Workload.prepared -> algorithm -> cell
+
+(** [run ~scale ~seed] produces the whole figure. *)
+val run : scale:Workload.scale -> seed:int -> row list
+
+(** [run_averaged ~scale ~seeds] averages the figure over several
+    seeds (independent topologies + congestion draws), damping the
+    single-topology variance the paper's "representative topology"
+    presentation hides. *)
+val run_averaged : scale:Workload.scale -> seeds:int list -> row list

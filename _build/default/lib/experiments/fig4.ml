@@ -1,0 +1,163 @@
+module Bitset = Tomo_util.Bitset
+module Stats = Tomo_util.Stats
+module Scenario = Tomo_netsim.Scenario
+module Run = Tomo_netsim.Run
+
+type algorithm = Independence | Correlation_heuristic | Correlation_complete
+
+let algorithm_to_string = function
+  | Independence -> "Independence"
+  | Correlation_heuristic -> "Correlation-heuristic"
+  | Correlation_complete -> "Correlation-complete"
+
+let algorithms =
+  [ Independence; Correlation_heuristic; Correlation_complete ]
+
+let scenarios ~topology ~scale ~seed =
+  (* §5.4: "in each of these scenarios, the congestion probability of
+     each link changes every few time intervals" — non-stationarity is
+     layered on top of every Fig. 4 scenario. *)
+  [
+    ( "Random Congestion",
+      Workload.spec ~scale ~seed ~nonstationary:true topology
+        Scenario.Random );
+    ( "Concentrated Congestion",
+      Workload.spec ~scale ~seed ~nonstationary:true topology
+        Scenario.Concentrated );
+    ( "No Independence",
+      Workload.spec ~scale ~seed ~nonstationary:true topology
+        Scenario.No_independence );
+  ]
+
+let run_pc (w : Workload.prepared) algorithm =
+  let model = w.Workload.model and obs = w.Workload.obs in
+  match algorithm with
+  | Independence -> (Tomo.Independence_pc.compute model obs, None)
+  | Correlation_heuristic ->
+      let r, eng = Tomo.Correlation_heuristic.compute model obs in
+      (r, Some eng)
+  | Correlation_complete ->
+      let r, eng = Tomo.Correlation_complete.compute model obs in
+      (r, Some eng)
+
+let link_errors (w : Workload.prepared) (r : Tomo.Pc_result.t) =
+  let over = Tomo.Pc_result.potentially_congested r in
+  Tomo.Metrics.abs_errors ~truth:w.Workload.truth_marginals
+    ~estimate:r.Tomo.Pc_result.marginals ~over
+
+let mean_link_error w r =
+  let errs = link_errors w r in
+  if Array.length errs = 0 then 0.0 else Stats.mean errs
+
+type mae_row = { label : string; cells : (algorithm * float) list }
+
+let run_mae ~topology ~scale ~seed =
+  List.map
+    (fun (label, spec) ->
+      let w = Workload.prepare spec in
+      let cells =
+        List.map
+          (fun a ->
+            let r, _ = run_pc w a in
+            (a, mean_link_error w r))
+          algorithms
+      in
+      { label; cells })
+    (scenarios ~topology ~scale ~seed)
+
+let run_mae_averaged ~topology ~scale ~seeds =
+  match seeds with
+  | [] -> invalid_arg "Fig4.run_mae_averaged: no seeds"
+  | first :: rest ->
+      let add rows rows' =
+        List.map2
+          (fun r r' ->
+            {
+              r with
+              cells =
+                List.map2
+                  (fun (a, v) (_, v') -> (a, v +. v'))
+                  r.cells r'.cells;
+            })
+          rows rows'
+      in
+      let total =
+        List.fold_left
+          (fun acc seed -> add acc (run_mae ~topology ~scale ~seed))
+          (run_mae ~topology ~scale ~seed:first)
+          rest
+      in
+      let n = float_of_int (List.length seeds) in
+      List.map
+        (fun r ->
+          { r with cells = List.map (fun (a, v) -> (a, v /. n)) r.cells })
+        total
+
+let run_cdf ~scale ~seed ~steps =
+  let spec =
+    Workload.spec ~scale ~seed ~nonstationary:true Workload.Sparse
+      Scenario.No_independence
+  in
+  let w = Workload.prepare spec in
+  List.map
+    (fun a ->
+      let r, _ = run_pc w a in
+      let errs = link_errors w r in
+      let curve =
+        if Array.length errs = 0 then [ (0.0, 1.0) ]
+        else Stats.cdf_curve errs ~steps ~max_x:1.0
+      in
+      (a, curve))
+    algorithms
+
+type subsets_cell = {
+  links_mae : float;
+  subsets_mae : float;
+  n_subsets_scored : int;
+}
+
+(* Score the identifiable correlation subsets of size >= 2: compare the
+   engine's congestion probability against the simulator's closed form. *)
+let score_subsets (w : Workload.prepared) engine =
+  let reg = engine.Tomo.Prob_engine.selection.Tomo.Algorithm1.registry in
+  let errs = ref [] in
+  for v = 0 to Tomo.Eqn.n_vars reg - 1 do
+    let s = Tomo.Eqn.subset_of_var reg v in
+    if Array.length s.Tomo.Subsets.links >= 2 then begin
+      match
+        Tomo.Prob_engine.congestion_prob engine ~corr:s.Tomo.Subsets.corr
+          s.Tomo.Subsets.links
+      with
+      | Some est ->
+          let truth =
+            Run.true_congestion_prob w.Workload.run s.Tomo.Subsets.links
+          in
+          errs := abs_float (est -. truth) :: !errs
+      | None -> ()
+    end
+  done;
+  !errs
+
+let run_subsets ~scale ~seed =
+  List.map
+    (fun topology ->
+      let spec =
+        Workload.spec ~scale ~seed ~nonstationary:true topology
+          Scenario.No_independence
+      in
+      let w = Workload.prepare spec in
+      let r, eng = run_pc w Correlation_complete in
+      let engine = Option.get eng in
+      let subset_errs = score_subsets w engine in
+      let subsets_mae =
+        match subset_errs with
+        | [] -> 0.0
+        | es -> Stats.mean (Array.of_list es)
+      in
+      ( Workload.topology_to_string topology,
+        {
+          links_mae = mean_link_error w r;
+          subsets_mae;
+          n_subsets_scored = List.length subset_errs;
+        } ))
+    [ Workload.Brite; Workload.Sparse ]

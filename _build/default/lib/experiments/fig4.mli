@@ -1,0 +1,81 @@
+(** Figure 4: accuracy of the Probability Computation algorithms.
+
+    - Fig. 4(a): mean absolute error of per-link congestion probability,
+      Brite topologies, scenarios Random / Concentrated / No-Independence
+      (each with non-stationary probabilities layered on top, as in
+      §5.4).
+    - Fig. 4(b): the same on Sparse topologies.
+    - Fig. 4(c): CDF of the absolute error in the hardest cell
+      (No-Independence, Sparse).
+    - Fig. 4(d): Correlation-complete's error on individual links vs on
+      correlation subsets (size ≥ 2), No-Independence, Brite vs Sparse.
+
+    Errors are averaged over the potentially congested links (paper:
+    "all links which are not traversed by any path that is always
+    good"). *)
+
+type algorithm = Independence | Correlation_heuristic | Correlation_complete
+
+val algorithm_to_string : algorithm -> string
+val algorithms : algorithm list
+
+(** [scenarios ~topology ~scale ~seed] is the three-column scenario list
+    of Fig. 4(a)/(b) (non-stationarity included, per §5.4). *)
+val scenarios :
+  topology:Workload.topology ->
+  scale:Workload.scale ->
+  seed:int ->
+  (string * Workload.spec) list
+
+(** [run_pc prepared algorithm] runs one Probability Computation
+    algorithm and returns its per-link result (plus the engine when the
+    algorithm has one, for subset queries). *)
+val run_pc :
+  Workload.prepared ->
+  algorithm ->
+  Tomo.Pc_result.t * Tomo.Prob_engine.t option
+
+(** [link_errors prepared result] is the per-link absolute error over
+    the potentially congested links. *)
+val link_errors : Workload.prepared -> Tomo.Pc_result.t -> float array
+
+(** [mean_link_error prepared result] averages {!link_errors} (0 when
+    the potentially congested set is empty). *)
+val mean_link_error : Workload.prepared -> Tomo.Pc_result.t -> float
+
+type mae_row = { label : string; cells : (algorithm * float) list }
+
+(** [run_mae ~topology ~scale ~seed] produces Fig. 4(a) (Brite) or (b)
+    (Sparse). *)
+val run_mae :
+  topology:Workload.topology -> scale:Workload.scale -> seed:int ->
+  mae_row list
+
+(** [run_mae_averaged ~topology ~scale ~seeds] averages {!run_mae} over
+    several seeds. *)
+val run_mae_averaged :
+  topology:Workload.topology ->
+  scale:Workload.scale ->
+  seeds:int list ->
+  mae_row list
+
+(** [run_cdf ~scale ~seed ~steps] produces Fig. 4(c): for each algorithm,
+    the CDF of the absolute error in the (No-Independence, Sparse)
+    cell, sampled at [steps+1] points of [0, 1]. *)
+val run_cdf :
+  scale:Workload.scale -> seed:int -> steps:int ->
+  (algorithm * (float * float) list) list
+
+type subsets_cell = {
+  links_mae : float;
+  subsets_mae : float;
+  n_subsets_scored : int;
+      (** identifiable subsets of size ≥ 2 that were scored — the
+          paper's "significant number (depending on available resources)
+          of correlation subsets" *)
+}
+
+(** [run_subsets ~scale ~seed] produces Fig. 4(d): Correlation-complete
+    on the No-Independence scenario, Brite and Sparse. *)
+val run_subsets :
+  scale:Workload.scale -> seed:int -> (string * subsets_cell) list

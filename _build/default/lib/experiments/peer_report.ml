@@ -1,0 +1,100 @@
+module Overlay = Tomo_topology.Overlay
+
+type peer = {
+  peer_as : int;
+  n_links : int;
+  expected_congested : float;
+  ci_lo : float;
+  ci_hi : float;
+  n_identifiable : int;
+  worst_pair : (int * int * float) option;
+}
+
+let build ~model ~engine ~overlay ~resamples ~rng =
+  let cis =
+    if resamples > 1 then
+      Some
+        (Tomo.Confidence.link_marginal_cis engine ~resamples ~level:0.9 ~rng)
+    else None
+  in
+  let corr_sets = Overlay.correlation_sets overlay in
+  Array.to_list corr_sets
+  |> List.filter_map (fun links ->
+         if Array.length links = 0 then None
+         else begin
+           let peer_as =
+             overlay.Overlay.links.(links.(0)).Overlay.owner_as
+           in
+           let expected, lo, hi =
+             Array.fold_left
+               (fun (e, l, h) link ->
+                 let p = Tomo.Prob_engine.link_marginal engine link in
+                 match cis with
+                 | Some cis ->
+                     ( e +. p,
+                       l +. cis.(link).Tomo.Confidence.lo,
+                       h +. cis.(link).Tomo.Confidence.hi )
+                 | None -> (e +. p, l +. p, h +. p))
+               (0.0, 0.0, 0.0) links
+           in
+           let n_identifiable =
+             Array.fold_left
+               (fun a link ->
+                 if Tomo.Prob_engine.link_identifiable engine link then
+                   a + 1
+                 else a)
+               0 links
+           in
+           (* Strongest identifiable pairwise correlation within the
+              peer. *)
+           let worst_pair = ref None in
+           let corr = model.Tomo.Model.corr_of_link.(links.(0)) in
+           Array.iteri
+             (fun i a ->
+               Array.iteri
+                 (fun j b ->
+                   if j > i then
+                     match
+                       Tomo.Prob_engine.congestion_prob engine ~corr
+                         [| a; b |]
+                     with
+                     | Some p when p > 0.01 -> (
+                         match !worst_pair with
+                         | Some (_, _, best) when best >= p -> ()
+                         | _ -> worst_pair := Some (a, b, p))
+                     | _ -> ())
+                 links)
+             links;
+           Some
+             {
+               peer_as;
+               n_links = Array.length links;
+               expected_congested = expected;
+               ci_lo = lo;
+               ci_hi = hi;
+               n_identifiable;
+               worst_pair = !worst_pair;
+             }
+         end)
+  |> List.sort (fun a b ->
+         compare b.expected_congested a.expected_congested)
+
+let render ppf ~top peers =
+  Format.fprintf ppf
+    "%-8s%7s%14s%20s%14s  %s@." "peer AS" "links" "E[#congested]"
+    "90% CI" "identifiable" "strongest correlation";
+  Format.fprintf ppf "%s@." (String.make 92 '-');
+  List.iteri
+    (fun i p ->
+      if i < top then begin
+        Format.fprintf ppf "%-8d%7d%14.3f%9.3f-%-10.3f%10d/%-3d"
+          p.peer_as p.n_links p.expected_congested p.ci_lo p.ci_hi
+          p.n_identifiable p.n_links;
+        (match p.worst_pair with
+        | Some (a, b, prob) ->
+            Format.fprintf ppf "  links (%d,%d) fail together %.0f%%" a b
+              (100.0 *. prob)
+        | None -> Format.fprintf ppf "  -");
+        Format.fprintf ppf "@."
+      end)
+    peers

@@ -1,0 +1,38 @@
+(** The operator-facing deliverable of the paper's scenario (§1): per
+    peer, how frequently its links are congested.
+
+    This is what the source ISP actually consumes: a ranking of peers by
+    expected simultaneous congested links, each with a bootstrap
+    confidence interval, plus the strongest identified intra-peer
+    correlations (useful for the "how well does the peer react to
+    exceptional situations" question — a peer whose links fail together
+    has a shared bottleneck). *)
+
+type peer = {
+  peer_as : int;
+  n_links : int;
+  expected_congested : float;
+      (** sum of link congestion probabilities: the expected number of
+          simultaneously congested links of this peer *)
+  ci_lo : float;
+  ci_hi : float;
+  n_identifiable : int;  (** links with uniquely determined estimates *)
+  worst_pair : (int * int * float) option;
+      (** most correlated identifiable link pair (a, b, P(both
+          congested)) if any has joint probability above 1% *)
+}
+
+(** [build ~model ~engine ~overlay ~resamples ~rng] computes the report.
+    [resamples = 0] skips the bootstrap (CIs collapse onto the point
+    estimate). *)
+val build :
+  model:Tomo.Model.t ->
+  engine:Tomo.Prob_engine.t ->
+  overlay:Tomo_topology.Overlay.t ->
+  resamples:int ->
+  rng:Tomo_util.Rng.t ->
+  peer list
+
+(** [render ppf ~top peers] prints the top-[top] peers by expected
+    congestion. *)
+val render : Format.formatter -> top:int -> peer list -> unit

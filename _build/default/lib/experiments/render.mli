@@ -1,0 +1,39 @@
+(** Plain-text rendering of the reproduced figures and tables. *)
+
+(** [fig3 ppf rows] prints the detection-rate and false-positive-rate
+    tables (Fig. 3a and 3b). *)
+val fig3 : Format.formatter -> Fig3.row list -> unit
+
+(** [fig4_mae ppf ~title rows] prints one mean-absolute-error table
+    (Fig. 4a or 4b). *)
+val fig4_mae : Format.formatter -> title:string -> Fig4.mae_row list -> unit
+
+(** [fig4_cdf ppf curves] prints the error-CDF series (Fig. 4c). *)
+val fig4_cdf :
+  Format.formatter -> (Fig4.algorithm * (float * float) list) list -> unit
+
+(** [fig4_subsets ppf cells] prints the links-vs-subsets comparison
+    (Fig. 4d). *)
+val fig4_subsets :
+  Format.formatter -> (string * Fig4.subsets_cell) list -> unit
+
+(** [table2 ppf] prints the paper's Table 2 (sources of inaccuracy of the
+    Boolean-Inference algorithms) — static content, kept here so the CLI
+    can reproduce every table of the paper. *)
+val table2 : Format.formatter -> unit
+
+(** CSV writers, for external plotting.  Each produces one file with a
+    header row; floats use enough digits to round-trip. *)
+
+val fig3_csv : string -> Fig3.row list -> unit
+(** columns: [scenario,algorithm,detection,false_positive] *)
+
+val fig4_mae_csv : string -> Fig4.mae_row list -> unit
+(** columns: [scenario,algorithm,mae] *)
+
+val fig4_cdf_csv :
+  string -> (Fig4.algorithm * (float * float) list) list -> unit
+(** columns: [algorithm,abs_error,cdf] *)
+
+val fig4_subsets_csv : string -> (string * Fig4.subsets_cell) list -> unit
+(** columns: [topology,links_mae,subsets_mae,n_subsets_scored] *)

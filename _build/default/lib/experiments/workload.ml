@@ -1,0 +1,112 @@
+module Overlay = Tomo_topology.Overlay
+module Brite_gen = Tomo_topology.Brite
+module Sparse_gen = Tomo_topology.Sparse_topo
+module Scenario = Tomo_netsim.Scenario
+module Run = Tomo_netsim.Run
+module Rng = Tomo_util.Rng
+
+type topology = Brite | Sparse
+
+let topology_to_string = function Brite -> "brite" | Sparse -> "sparse"
+
+type scale = Small | Medium | Paper
+
+let scale_to_string = function
+  | Small -> "small"
+  | Medium -> "medium"
+  | Paper -> "paper"
+
+let scale_of_string = function
+  | "small" -> Ok Small
+  | "medium" -> Ok Medium
+  | "paper" -> Ok Paper
+  | s -> Error (Printf.sprintf "unknown scale %S (small|medium|paper)" s)
+
+type spec = {
+  topology : topology;
+  scenario : Scenario.kind;
+  nonstationary : bool;
+  scale : scale;
+  seed : int;
+  measurement : Run.measurement;
+  t_override : int option;
+}
+
+let spec ?(scale = Medium) ?(seed = 1) ?(nonstationary = false)
+    ?(measurement = Run.Ideal) ?t_override topology scenario =
+  { topology; scenario; nonstationary; scale; seed; measurement; t_override }
+
+type prepared = {
+  spec : spec;
+  overlay : Overlay.t;
+  model : Tomo.Model.t;
+  run : Run.result;
+  obs : Tomo.Observations.t;
+  truth_marginals : float array;
+}
+
+let t_intervals = function Small -> 200 | Medium -> 400 | Paper -> 1000
+
+let brite_params = function
+  | Small ->
+      { Brite_gen.default with Brite_gen.n_ases = 40; n_paths = 150 }
+  | Medium ->
+      { Brite_gen.default with Brite_gen.n_ases = 80; n_paths = 450 }
+  | Paper -> Brite_gen.default
+
+let sparse_params = function
+  | Small ->
+      { Sparse_gen.default with Sparse_gen.n_ases = 120; n_paths = 150 }
+  | Medium ->
+      { Sparse_gen.default with Sparse_gen.n_ases = 250; n_paths = 450 }
+  | Paper -> Sparse_gen.default
+
+let model_of_overlay overlay =
+  let paths =
+    Array.map (fun (p : Overlay.path) -> p.Overlay.links) overlay.Overlay.paths
+  in
+  Tomo.Model.make ~n_links:(Overlay.n_links overlay) ~paths
+    ~corr_sets:(Overlay.correlation_sets overlay)
+
+let observations_of_run (run : Run.result) =
+  Tomo.Observations.make ~t_intervals:run.Run.t_intervals
+    ~path_good:run.Run.path_good
+
+let prepare spec =
+  let overlay =
+    match spec.topology with
+    | Brite ->
+        Brite_gen.generate ~params:(brite_params spec.scale) ~seed:spec.seed
+          ()
+    | Sparse ->
+        Sparse_gen.generate ~params:(sparse_params spec.scale)
+          ~seed:spec.seed ()
+  in
+  let rng = Rng.create (spec.seed * 613 + 17) in
+  let scenario =
+    Scenario.make overlay ~kind:spec.scenario ~frac:0.1
+      ~rng:(Rng.split rng ~label:"scenario")
+  in
+  let t =
+    match spec.t_override with
+    | Some t -> t
+    | None -> t_intervals spec.scale
+  in
+  (* "the congestion probabilities of links change every few time
+     intervals" (§3.2) — a handful of intervals per epoch, so long-run
+     averages genuinely mislead per-interval inference. *)
+  let dynamics =
+    if spec.nonstationary then Run.Redraw_every (max 2 (t / 200))
+    else Run.Stationary
+  in
+  let run =
+    Run.run ~scenario ~dynamics ~measurement:spec.measurement ~t_intervals:t
+      ~rng:(Rng.split rng ~label:"run")
+  in
+  let model = model_of_overlay overlay in
+  let obs = observations_of_run run in
+  let truth_marginals =
+    Array.init (Overlay.n_links overlay) (fun e ->
+        Run.true_link_marginal run e)
+  in
+  { spec; overlay; model; run; obs; truth_marginals }

@@ -1,0 +1,68 @@
+(** Experiment workloads: glue between the topology generators, the
+    simulator and the tomography core.
+
+    A {!spec} names everything the paper's §3.2 setup varies — topology
+    family, congestion scenario, stationarity, scale, seed — and
+    {!prepare} turns it into a ready-to-analyze bundle: overlay, core
+    model (correlation sets = one per AS), simulation run, observations,
+    and closed-form truth. *)
+
+type topology = Brite | Sparse
+
+val topology_to_string : topology -> string
+
+(** Experiment scale.  [Paper] matches §3.2 (≈1000-link Brite / ≈2000-link
+    Sparse, 1500 paths, 1000 intervals); the smaller presets keep the
+    same structure at a fraction of the cost for tests and benches. *)
+type scale = Small | Medium | Paper
+
+val scale_to_string : scale -> string
+val scale_of_string : string -> (scale, string) result
+
+type spec = {
+  topology : topology;
+  scenario : Tomo_netsim.Scenario.kind;
+  nonstationary : bool;
+      (** redraw factor probabilities and activations every few intervals *)
+  scale : scale;
+  seed : int;
+  measurement : Tomo_netsim.Run.measurement;
+  t_override : int option;
+      (** replace the scale's interval count (convergence sweeps) *)
+}
+
+(** [spec ?scale ?seed ?nonstationary ?measurement ?t_override topology
+    scenario] fills defaults: Medium scale, seed 1, stationary, ideal
+    measurement, scale-determined interval count. *)
+val spec :
+  ?scale:scale ->
+  ?seed:int ->
+  ?nonstationary:bool ->
+  ?measurement:Tomo_netsim.Run.measurement ->
+  ?t_override:int ->
+  topology ->
+  Tomo_netsim.Scenario.kind ->
+  spec
+
+type prepared = {
+  spec : spec;
+  overlay : Tomo_topology.Overlay.t;
+  model : Tomo.Model.t;
+  run : Tomo_netsim.Run.result;
+  obs : Tomo.Observations.t;
+  truth_marginals : float array;  (** closed-form per-link truth *)
+}
+
+(** [t_intervals scale] is the experiment length for a scale. *)
+val t_intervals : scale -> int
+
+(** [prepare spec] generates, simulates and packages the workload. *)
+val prepare : spec -> prepared
+
+(** [model_of_overlay overlay] builds the tomography view: link/path
+    incidence plus one correlation set per AS that owns links. *)
+val model_of_overlay : Tomo_topology.Overlay.t -> Tomo.Model.t
+
+(** [observations_of_run run] re-packages simulator output as core
+    observations. *)
+val observations_of_run : Tomo_netsim.Run.result -> Tomo.Observations.t

@@ -1,0 +1,1 @@
+lib/linalg/gauss.ml: Array List Matrix

@@ -1,0 +1,1 @@
+lib/linalg/gauss.mli: Matrix

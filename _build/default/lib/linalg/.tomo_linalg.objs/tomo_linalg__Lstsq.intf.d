@@ -1,0 +1,1 @@
+lib/linalg/lstsq.mli: Matrix

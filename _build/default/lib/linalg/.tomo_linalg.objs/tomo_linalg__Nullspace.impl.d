@@ -1,0 +1,1 @@
+lib/linalg/nullspace.ml: Array Gauss List Matrix

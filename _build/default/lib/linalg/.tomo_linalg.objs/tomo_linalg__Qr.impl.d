@@ -1,0 +1,1 @@
+lib/linalg/qr.ml: Array Matrix

@@ -1,0 +1,62 @@
+let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
+  let m = Array.length rows in
+  if Array.length b <> m then invalid_arg "Cgls.solve: size mismatch";
+  Array.iter
+    (Array.iter (fun j ->
+         if j < 0 || j >= n_vars then
+           invalid_arg "Cgls.solve: variable index out of range"))
+    rows;
+  let max_iter =
+    match max_iter with Some n -> n | None -> (4 * n_vars) + 100
+  in
+  let x = Array.make n_vars 0.0 in
+  if m = 0 || n_vars = 0 then x
+  else begin
+    (* A·v for incidence rows: per-row sum of selected coordinates. *)
+    let apply_a v out =
+      Array.iteri
+        (fun i row ->
+          let acc = ref 0.0 in
+          Array.iter (fun j -> acc := !acc +. v.(j)) row;
+          out.(i) <- !acc)
+        rows
+    in
+    (* Aᵀ·w: scatter row values onto their variables. *)
+    let apply_at w out =
+      Array.fill out 0 n_vars 0.0;
+      Array.iteri
+        (fun i row ->
+          let wi = w.(i) in
+          if wi <> 0.0 then Array.iter (fun j -> out.(j) <- out.(j) +. wi) row)
+        rows
+    in
+    let dot a b =
+      let acc = ref 0.0 in
+      Array.iteri (fun i ai -> acc := !acc +. (ai *. b.(i))) a;
+      !acc
+    in
+    let r = Array.copy b in
+    let s = Array.make n_vars 0.0 in
+    apply_at r s;
+    let p = Array.copy s in
+    let q = Array.make m 0.0 in
+    let gamma = ref (dot s s) in
+    let target = tol *. sqrt !gamma in
+    (try
+       for _ = 1 to max_iter do
+         if sqrt !gamma <= target || !gamma = 0.0 then raise Exit;
+         apply_a p q;
+         let qq = dot q q in
+         if qq <= 0.0 then raise Exit;
+         let alpha = !gamma /. qq in
+         Array.iteri (fun j pj -> x.(j) <- x.(j) +. (alpha *. pj)) p;
+         Array.iteri (fun i qi -> r.(i) <- r.(i) -. (alpha *. qi)) q;
+         apply_at r s;
+         let gamma' = dot s s in
+         let beta = gamma' /. !gamma in
+         Array.iteri (fun j sj -> p.(j) <- sj +. (beta *. p.(j))) s;
+         gamma := gamma'
+       done
+     with Exit -> ());
+    x
+  end

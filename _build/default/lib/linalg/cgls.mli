@@ -1,0 +1,24 @@
+(** Conjugate-gradient least squares for sparse 0/1 systems.
+
+    The tomography equation systems have rows that are incidence vectors:
+    each row is the set of correlation-subset variables appearing in one
+    equation, with all coefficients equal to 1.  CGLS solves
+    [min ‖A·x − b‖₂] for such systems without ever materializing [A];
+    started from [x = 0] it converges to the *minimum-norm* least-squares
+    solution, whose identifiable coordinates (decided separately via
+    {!Nullspace}) equal those of every other minimizer. *)
+
+(** [solve ~n_vars ~rows ~b ?max_iter ?tol ()] where [rows.(i)] lists the
+    variable indices of equation [i] (coefficient 1 each) and [b.(i)] its
+    right-hand side.  Iterates until the normal-equation residual norm
+    falls below [tol] (relative to its initial value, default [1e-12]) or
+    [max_iter] iterations (default [4 · n_vars + 100]).
+    @raise Invalid_argument on size mismatch or an out-of-range index. *)
+val solve :
+  n_vars:int ->
+  rows:int array array ->
+  b:float array ->
+  ?max_iter:int ->
+  ?tol:float ->
+  unit ->
+  float array

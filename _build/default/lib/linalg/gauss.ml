@@ -1,0 +1,77 @@
+type rref = { reduced : Matrix.t; pivot_cols : int list; rank : int }
+
+let default_tol = 1e-10
+
+let rref ?(tol = default_tol) m =
+  let a = Matrix.copy m in
+  let nr = Matrix.rows a and nc = Matrix.cols a in
+  let scale = max 1.0 (Matrix.max_abs a) in
+  let threshold = tol *. scale in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let j = ref 0 in
+  while !r < nr && !j < nc do
+    (* Partial pivoting: bring the largest entry of column !j (rows >= !r)
+       to the pivot position. *)
+    let best = ref !r in
+    for i = !r + 1 to nr - 1 do
+      if abs_float (Matrix.get a i !j) > abs_float (Matrix.get a !best !j)
+      then best := i
+    done;
+    if abs_float (Matrix.get a !best !j) <= threshold then begin
+      (* Numerically zero column below row !r: clean it and move on. *)
+      for i = !r to nr - 1 do
+        Matrix.set a i !j 0.0
+      done;
+      incr j
+    end
+    else begin
+      if !best <> !r then
+        for k = 0 to nc - 1 do
+          let tmp = Matrix.get a !r k in
+          Matrix.set a !r k (Matrix.get a !best k);
+          Matrix.set a !best k tmp
+        done;
+      let pivot = Matrix.get a !r !j in
+      for k = 0 to nc - 1 do
+        Matrix.set a !r k (Matrix.get a !r k /. pivot)
+      done;
+      for i = 0 to nr - 1 do
+        if i <> !r then begin
+          let factor = Matrix.get a i !j in
+          if factor <> 0.0 then
+            for k = 0 to nc - 1 do
+              Matrix.set a i k
+                (Matrix.get a i k -. (factor *. Matrix.get a !r k))
+            done
+        end
+      done;
+      pivots := !j :: !pivots;
+      incr r;
+      incr j
+    end
+  done;
+  { reduced = a; pivot_cols = List.rev !pivots; rank = !r }
+
+let rank ?tol m = (rref ?tol m).rank
+
+let solve ?(tol = default_tol) a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Gauss.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Gauss.solve: size mismatch";
+  let aug = Matrix.init n (n + 1) (fun i j ->
+      if j < n then Matrix.get a i j else b.(i))
+  in
+  let { reduced; rank; _ } = rref ~tol aug in
+  if rank < n then failwith "Gauss.solve: singular matrix";
+  Array.init n (fun i -> Matrix.get reduced i n)
+
+let inverse ?(tol = default_tol) a =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n then invalid_arg "Gauss.inverse: matrix not square";
+  let aug = Matrix.init n (2 * n) (fun i j ->
+      if j < n then Matrix.get a i j else if j - n = i then 1.0 else 0.0)
+  in
+  let { reduced; rank; _ } = rref ~tol aug in
+  if rank < n then failwith "Gauss.inverse: singular matrix";
+  Matrix.init n n (fun i j -> Matrix.get reduced i (n + j))

@@ -1,0 +1,31 @@
+(** Gaussian elimination: reduced row-echelon form, rank, and exact solves
+    of square systems.
+
+    Pivoting is partial (largest absolute entry in the column) and rank
+    decisions use a tolerance relative to the largest entry encountered,
+    which is appropriate for the 0/1 incidence matrices produced by the
+    tomography equation builder. *)
+
+(** Result of [rref]. *)
+type rref = {
+  reduced : Matrix.t;  (** the reduced row-echelon form *)
+  pivot_cols : int list;  (** pivot column indices, in row order *)
+  rank : int;
+}
+
+(** [rref ?tol m] computes the reduced row-echelon form.  [tol] (default
+    [1e-10]) is the relative threshold below which a pivot candidate is
+    treated as zero. *)
+val rref : ?tol:float -> Matrix.t -> rref
+
+(** [rank ?tol m] is the numerical rank. *)
+val rank : ?tol:float -> Matrix.t -> int
+
+(** [solve ?tol a b] solves the square system [a · x = b].
+    @raise Invalid_argument if [a] is not square or sizes mismatch.
+    @raise Failure if [a] is singular at tolerance [tol]. *)
+val solve : ?tol:float -> Matrix.t -> float array -> float array
+
+(** [inverse ?tol a] is the inverse of a square matrix.
+    @raise Failure if singular. *)
+val inverse : ?tol:float -> Matrix.t -> Matrix.t

@@ -1,0 +1,15 @@
+type result = { solution : float array; rank : int; residual_norm : float }
+
+let solve ?tol a b =
+  if Array.length b <> Matrix.rows a then
+    invalid_arg "Lstsq.solve: size mismatch";
+  let qr = Qr.decompose ?tol a in
+  let y = Qr.apply_qt qr b in
+  let x = Qr.solve_r qr y in
+  let r = Matrix.mul_vec a x in
+  let residual = ref 0.0 in
+  Array.iteri (fun i ri ->
+      let d = ri -. b.(i) in
+      residual := !residual +. (d *. d))
+    r;
+  { solution = x; rank = qr.Qr.rank; residual_norm = sqrt !residual }

@@ -1,0 +1,18 @@
+(** Least-squares solver for (possibly rank-deficient) linear systems.
+
+    Given [A · x ≈ b], returns the basic least-squares solution computed
+    from a column-pivoted QR factorization: free variables (beyond the
+    numerical rank) are set to zero.  Coordinates of [x] that are
+    identifiable — i.e. constant over the whole set of least-squares
+    minimizers — are the ones the tomography engine reports; use
+    {!Nullspace} to decide identifiability. *)
+
+type result = {
+  solution : float array;
+  rank : int;
+  residual_norm : float;  (** ‖A·x − b‖₂ of the returned solution *)
+}
+
+(** [solve ?tol a b] computes the basic least-squares solution.
+    @raise Invalid_argument if [Array.length b <> Matrix.rows a]. *)
+val solve : ?tol:float -> Matrix.t -> float array -> result

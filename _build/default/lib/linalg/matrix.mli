@@ -1,0 +1,82 @@
+(** Dense row-major matrices over [float].
+
+    This is the numeric substrate for the tomography equation systems:
+    0/1 incidence matrices of path sets vs. correlation subsets, their
+    null spaces, and the least-squares solves that recover log
+    good-probabilities.  Dimensions in this reproduction are at most a few
+    thousand, so a straightforward dense representation is both simpler
+    and fast enough. *)
+
+type t
+
+(** [make rows cols x] is a [rows × cols] matrix filled with [x]. *)
+val make : int -> int -> float -> t
+
+(** [init rows cols f] fills entry [(i, j)] with [f i j]. *)
+val init : int -> int -> (int -> int -> float) -> t
+
+(** [identity n] is the [n × n] identity. *)
+val identity : int -> t
+
+(** [of_rows rows] builds a matrix from row vectors.
+    @raise Invalid_argument if rows have unequal lengths or there are no
+    rows. *)
+val of_rows : float array array -> t
+
+(** [to_rows m] is the matrix as an array of fresh row arrays. *)
+val to_rows : t -> float array array
+
+val rows : t -> int
+val cols : t -> int
+
+(** [get m i j] / [set m i j x]: bounds-checked element access. *)
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+(** [copy m] is a deep copy. *)
+val copy : t -> t
+
+(** [row m i] is a fresh copy of row [i]. *)
+val row : t -> int -> float array
+
+(** [col m j] is a fresh copy of column [j]. *)
+val col : t -> int -> float array
+
+(** [transpose m] is a fresh transpose. *)
+val transpose : t -> t
+
+(** [mul a b] is the matrix product.  @raise Invalid_argument on inner
+    dimension mismatch. *)
+val mul : t -> t -> t
+
+(** [mul_vec m v] is [m · v] as a fresh array. *)
+val mul_vec : t -> float array -> float array
+
+(** [vec_mul v m] is [vᵀ · m] as a fresh array. *)
+val vec_mul : float array -> t -> float array
+
+(** [add a b] / [sub a b] / [scale c a]: elementwise operations. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val scale : float -> t -> t
+
+(** [max_abs m] is the largest absolute entry (0 for empty matrices). *)
+val max_abs : t -> float
+
+(** [frobenius m] is the Frobenius norm. *)
+val frobenius : t -> float
+
+(** [equal_approx ~tol a b] is true iff dimensions match and entries agree
+    within [tol]. *)
+val equal_approx : tol:float -> t -> t -> bool
+
+(** [swap_cols m j k] swaps two columns in place. *)
+val swap_cols : t -> int -> int -> unit
+
+(** [drop_col m j] is a fresh matrix without column [j]. *)
+val drop_col : t -> int -> t
+
+(** [pp] prints the matrix with aligned columns (debugging aid). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+let default_tol = 1e-8
+
+let basis ?tol m =
+  let { Gauss.reduced; pivot_cols; rank } = Gauss.rref ?tol m in
+  let n = Matrix.cols m in
+  let is_pivot = Array.make n false in
+  let pivot_row = Array.make n (-1) in
+  List.iteri
+    (fun row col ->
+      is_pivot.(col) <- true;
+      pivot_row.(col) <- row)
+    pivot_cols;
+  let free_cols =
+    List.filter (fun j -> not is_pivot.(j)) (List.init n (fun j -> j))
+  in
+  let p = n - rank in
+  let out = Matrix.make n p 0.0 in
+  List.iteri
+    (fun k fc ->
+      (* Basis vector k: free variable [fc] = 1, pivot variables read off
+         the reduced system. *)
+      Matrix.set out fc k 1.0;
+      Array.iteri
+        (fun col piv ->
+          if piv >= 0 then
+            Matrix.set out col k (-.Matrix.get reduced piv fc))
+        pivot_row)
+    free_cols;
+  out
+
+let nullity ?tol m = Matrix.cols (basis ?tol m)
+
+let in_row_space ?(tol = default_tol) n i =
+  let p = Matrix.cols n in
+  let rec go j = j >= p || (abs_float (Matrix.get n i j) <= tol && go (j + 1)) in
+  go 0
+
+let row_dot_cols n r =
+  (* r · N for a row vector r of length rows(N). *)
+  Matrix.vec_mul r n
+
+let reduces_rank ?(tol = default_tol) n r =
+  if Matrix.cols n = 0 then false
+  else
+    let v = row_dot_cols n r in
+    Array.exists (fun x -> abs_float x > tol) v
+
+let update_incidence ?(tol = default_tol) n idxs =
+  let nvars = Matrix.rows n and p = Matrix.cols n in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= nvars then
+        invalid_arg "Nullspace.update_incidence: index out of range")
+    idxs;
+  if p = 0 then None
+  else begin
+    (* v = r · N where r is the incidence row: sum the rows of N named by
+       idxs. *)
+    let v = Array.make p 0.0 in
+    Array.iter
+      (fun i ->
+        for k = 0 to p - 1 do
+          v.(k) <- v.(k) +. Matrix.get n i k
+        done)
+      idxs;
+    let j = ref 0 in
+    for k = 1 to p - 1 do
+      if abs_float v.(k) > abs_float v.(!j) then j := k
+    done;
+    if abs_float v.(!j) <= tol then None
+    else begin
+      let pivot = v.(!j) in
+      let nj = Matrix.col n !j in
+      let out = Matrix.make nvars (p - 1) 0.0 in
+      let dst = ref 0 in
+      for k = 0 to p - 1 do
+        if k <> !j then begin
+          let coeff = v.(k) /. pivot in
+          for i = 0 to nvars - 1 do
+            Matrix.set out i !dst (Matrix.get n i k -. (coeff *. nj.(i)))
+          done;
+          incr dst
+        end
+      done;
+      Some out
+    end
+  end
+
+let update ?(tol = default_tol) n r =
+  let nvars = Matrix.rows n and p = Matrix.cols n in
+  if Array.length r <> nvars then invalid_arg "Nullspace.update: bad row";
+  if p = 0 then n
+  else begin
+    let v = row_dot_cols n r in
+    (* Pivot on the column with the largest |r · N_j|. *)
+    let j = ref 0 in
+    for k = 1 to p - 1 do
+      if abs_float v.(k) > abs_float v.(!j) then j := k
+    done;
+    if abs_float v.(!j) <= tol then n
+    else begin
+      let pivot = v.(!j) in
+      let nj = Matrix.col n !j in
+      let out = Matrix.make nvars (p - 1) 0.0 in
+      let dst = ref 0 in
+      for k = 0 to p - 1 do
+        if k <> !j then begin
+          let coeff = v.(k) /. pivot in
+          for i = 0 to nvars - 1 do
+            Matrix.set out i !dst (Matrix.get n i k -. (coeff *. nj.(i)))
+          done;
+          incr dst
+        end
+      done;
+      out
+    end
+  end

@@ -1,0 +1,49 @@
+(** Null-space bases and the paper's incremental update (Algorithm 2).
+
+    Algorithm 1 of the paper grows an equation system one row at a time
+    and must know, after each addition, whether the candidate row
+    increased the rank — equivalently, whether it shrank the null space.
+    Recomputing a null-space basis from scratch on every iteration would
+    be cubically expensive; Algorithm 2 instead projects the current basis
+    against the new row in [O(n·p)].  Both the from-scratch construction
+    and the incremental update live here. *)
+
+(** [basis ?tol m] is an [n × p] matrix whose columns span the null space
+    of the [r × n] matrix [m] ([p] = nullity).  When the null space is
+    trivial the result has [0] columns. *)
+val basis : ?tol:float -> Matrix.t -> Matrix.t
+
+(** [nullity ?tol m] is [cols (basis m)]. *)
+val nullity : ?tol:float -> Matrix.t -> int
+
+(** [in_row_space ?tol n i] decides whether the [i]-th coordinate is
+    identifiable given a null-space basis [n]: true iff row [i] of [n] is
+    (numerically) zero, i.e. the unit vector [eᵢ] lies in the row space of
+    the original system. *)
+val in_row_space : ?tol:float -> Matrix.t -> int -> bool
+
+(** [reduces_rank ?tol n r] is true iff adding row [r] to the system whose
+    null space is spanned by [n] would increase the system's rank, i.e.
+    [‖r · N‖ > 0] (line 13 of Algorithm 1). *)
+val reduces_rank : ?tol:float -> Matrix.t -> float array -> bool
+
+(** [update ?tol n r] is the paper's Algorithm 2 (NullSpaceUpdate): given
+    [n] ([n_vars × p]) spanning the null space of [R], returns a matrix
+    spanning the null space of [R] with row [r] appended.
+
+    If [r · N = 0] (the row is linearly dependent on the system), the
+    basis is returned unchanged.  Otherwise one basis column is consumed:
+    we pivot on the column [j] maximizing [|r · N_j|] (the paper uses the
+    first column; pivoting is numerically safer and spans the same space)
+    and project the remaining columns:
+    [N' = (I − N_j · (r·N_j)⁻¹ · r) · N_{others}]. *)
+val update : ?tol:float -> Matrix.t -> float array -> Matrix.t
+
+(** [update_incidence ?tol n idxs] is {!update} specialized to an
+    incidence row (coefficient 1 at each index of [idxs], 0 elsewhere) —
+    the only row shape the tomography systems produce.  Returns [None]
+    when the row is linearly dependent on the current system (the
+    null space is unchanged), [Some n'] when it shrank it by one column.
+    The dependence test costs [O(|idxs| · p)] instead of [O(n · p)]. *)
+val update_incidence :
+  ?tol:float -> Matrix.t -> int array -> Matrix.t option

@@ -1,0 +1,38 @@
+(** Householder QR factorization with column pivoting.
+
+    [A · P = Q · R] where [P] is a column permutation, [Q] orthogonal and
+    [R] upper trapezoidal.  Column pivoting makes the factorization
+    rank-revealing, which the least-squares driver uses to solve
+    rank-deficient tomography systems: free variables are set to zero and
+    only the well-determined part of the solution is trusted. *)
+
+type t = {
+  qr : Matrix.t;
+      (** packed factors: [R] in the upper triangle, Householder vectors
+          below the diagonal *)
+  betas : float array;  (** Householder scalars, one per reflection *)
+  perm : int array;  (** [perm.(k)] is the original index of column [k] *)
+  rank : int;  (** numerical rank at the decomposition tolerance *)
+}
+
+(** [decompose ?tol a] factorizes [a].  [tol] (default [1e-10]) is the
+    relative threshold under which a remaining column is considered
+    zero. *)
+val decompose : ?tol:float -> Matrix.t -> t
+
+(** [apply_qt t b] overwrites nothing; returns [Qᵀ · b] as a fresh array.
+    @raise Invalid_argument if [b] does not match the row count. *)
+val apply_qt : t -> float array -> float array
+
+(** [solve_r t y] back-substitutes [R(0..rank-1, 0..rank-1) · x = y(0..rank-1)],
+    zero-fills free variables, and undoes the column permutation,
+    returning a full-length solution vector. *)
+val solve_r : t -> float array -> float array
+
+(** [q t] materializes the orthogonal factor as an [m × m] matrix
+    (test/debug use). *)
+val q : t -> Matrix.t
+
+(** [r t] materializes the upper-trapezoidal factor as an [m × n] matrix
+    (test/debug use). *)
+val r : t -> Matrix.t

@@ -1,0 +1,43 @@
+(** Singular value decomposition by one-sided Jacobi rotations.
+
+    The paper's Algorithm 1 (line 7) computes the initial null-space
+    basis "using standard techniques, like singular value decomposition
+    or QR factorization"; this module provides the SVD route, used by
+    tests as an independent oracle for ranks and null spaces and
+    available to callers who want singular values (e.g. to inspect the
+    conditioning of a tomography system).
+
+    One-sided Jacobi orthogonalizes the columns of [A] by repeated plane
+    rotations: on convergence [A·V = U·Σ] with [V] orthogonal, [Σ]
+    diagonal with non-negative entries, and the non-zero columns of
+    [U·Σ] orthogonal.  Accurate for small-to-medium dense matrices,
+    which is all the oracle role requires. *)
+
+type t = {
+  u : Matrix.t;  (** [m × n], orthonormal columns where [sigma > 0] *)
+  sigma : float array;  (** [n] singular values, descending *)
+  v : Matrix.t;  (** [n × n], orthogonal *)
+}
+
+(** [decompose ?eps ?max_sweeps a] factorizes [a] ([m × n] with
+    [m >= n]; transpose first otherwise).  [eps] (default [1e-12])
+    bounds the off-diagonal mass at convergence; [max_sweeps] (default
+    [60]) bounds the Jacobi sweeps.
+    @raise Invalid_argument if [m < n]. *)
+val decompose : ?eps:float -> ?max_sweeps:int -> Matrix.t -> t
+
+(** [reconstruct t] is [U · diag(sigma) · Vᵀ] (testing aid). *)
+val reconstruct : t -> Matrix.t
+
+(** [rank ?tol t] counts singular values above [tol · max sigma]
+    (default [tol = 1e-8]). *)
+val rank : ?tol:float -> t -> int
+
+(** [nullspace_basis ?tol t] is the orthonormal null-space basis of the
+    decomposed matrix: the columns of [V] whose singular values fall at
+    or below the tolerance, as an [n × (n − rank)] matrix. *)
+val nullspace_basis : ?tol:float -> t -> Matrix.t
+
+(** [condition t] is [max sigma / min positive sigma] ([infinity] when
+    rank-deficient with rank < n... i.e. some sigma is exactly 0). *)
+val condition : t -> float

@@ -1,0 +1,1 @@
+lib/netsim/factor_model.ml: Array Float Hashtbl Tomo_topology Tomo_util

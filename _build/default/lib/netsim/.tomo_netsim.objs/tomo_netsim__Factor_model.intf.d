@@ -1,0 +1,1 @@
+lib/netsim/factor_model.mli: Tomo_topology Tomo_util

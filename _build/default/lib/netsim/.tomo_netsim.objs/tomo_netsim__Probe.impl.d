@@ -1,0 +1,1 @@
+lib/netsim/probe.ml: Array Float Tomo_util

@@ -1,0 +1,1 @@
+lib/netsim/probe.mli: Tomo_util

@@ -1,0 +1,1 @@
+lib/netsim/run.ml: Array Factor_model List Option Probe Scenario Tomo_topology Tomo_util

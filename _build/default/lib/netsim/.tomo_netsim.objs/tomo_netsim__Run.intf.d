@@ -1,0 +1,1 @@
+lib/netsim/run.mli: Scenario Tomo_topology Tomo_util

@@ -1,0 +1,1 @@
+lib/netsim/scenario.ml: Array Hashtbl List Tomo_topology Tomo_util

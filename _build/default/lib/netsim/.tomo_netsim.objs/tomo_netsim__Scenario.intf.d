@@ -1,0 +1,1 @@
+lib/netsim/scenario.mli: Tomo_topology Tomo_util

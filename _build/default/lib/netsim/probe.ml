@@ -1,0 +1,40 @@
+module Rng = Tomo_util.Rng
+
+let loss_rate rng ~congested =
+  if congested then Rng.uniform rng ~lo:0.01 ~hi:1.0
+  else Rng.uniform rng ~lo:0.0 ~hi:0.01
+
+let path_threshold ~f ~hops =
+  if hops < 0 then invalid_arg "Probe.path_threshold: negative hops";
+  1.0 -. ((1.0 -. f) ** float_of_int hops)
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Probe.binomial: negative n";
+  if p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else
+    let var = float_of_int n *. p *. (1.0 -. p) in
+    if n >= 50 && var >= 9.0 then begin
+      (* Normal approximation with continuity correction. *)
+      let u1 = max 1e-12 (Rng.float rng 1.0) in
+      let u2 = Rng.float rng 1.0 in
+      let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+      let x = (float_of_int n *. p) +. (sqrt var *. z) in
+      max 0 (min n (int_of_float (Float.round x)))
+    end
+    else begin
+      let hits = ref 0 in
+      for _ = 1 to n do
+        if Rng.bool rng ~p then incr hits
+      done;
+      !hits
+    end
+
+let measure_path rng ~losses ~links ~n_probes ~f =
+  if n_probes <= 0 then invalid_arg "Probe.measure_path: no probes";
+  let survive =
+    Array.fold_left (fun acc l -> acc *. (1.0 -. losses.(l))) 1.0 links
+  in
+  let dropped = binomial rng ~n:n_probes ~p:(1.0 -. survive) in
+  let measured = float_of_int dropped /. float_of_int n_probes in
+  measured > path_threshold ~f ~hops:(Array.length links)

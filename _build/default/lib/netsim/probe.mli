@@ -1,0 +1,38 @@
+(** Packet-loss model and end-to-end probing (paper §3.2).
+
+    Per interval, each link gets a loss rate depending on its congestion
+    status, following the loss model of Padmanabhan et al. [12] as used by
+    the paper: good links drop a fraction uniform in [0, 0.01), congested
+    links a fraction uniform in [0.01, 1).
+
+    A path of [d] links is declared congested when its measured loss
+    fraction exceeds [1 − (1 − f)^d] with [f = 0.01]: if every link is
+    good (loss < f each), the expected path loss stays below the
+    threshold, so the E2E Monitoring assumption holds up to probe noise.
+
+    The experiment harness defaults to ideal measurement (path congested
+    iff some link congested — the paper assumes E2E Monitoring holds);
+    probing is provided to quantify how measurement noise affects the
+    algorithms. *)
+
+(** [loss_rate rng ~congested] draws a loss rate per the model above. *)
+val loss_rate : Tomo_util.Rng.t -> congested:bool -> float
+
+(** [path_threshold ~f ~hops] is [1 − (1 − f)^hops]. *)
+val path_threshold : f:float -> hops:int -> float
+
+(** [binomial rng ~n ~p] samples the number of successes of [n] Bernoulli
+    trials (normal approximation for large [n·p·(1−p)], exact loop
+    otherwise). *)
+val binomial : Tomo_util.Rng.t -> n:int -> p:float -> int
+
+(** [measure_path rng ~losses ~links ~n_probes ~f] sends [n_probes]
+    packets along [links] with per-link loss rates [losses] and returns
+    [true] iff the measured loss fraction exceeds the path threshold. *)
+val measure_path :
+  Tomo_util.Rng.t ->
+  losses:float array ->
+  links:int array ->
+  n_probes:int ->
+  f:float ->
+  bool

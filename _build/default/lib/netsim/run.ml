@@ -1,0 +1,98 @@
+module Overlay = Tomo_topology.Overlay
+module Bitset = Tomo_util.Bitset
+module Rng = Tomo_util.Rng
+
+type measurement = Ideal | Probes of { per_path : int; f : float }
+type dynamics = Stationary | Redraw_every of int
+type epoch = { length : int; probs : float array }
+
+type result = {
+  overlay : Overlay.t;
+  t_intervals : int;
+  link_congested : Bitset.t array;
+  path_good : Bitset.t array;
+  epochs : epoch list;
+}
+
+let run ~scenario ~dynamics ~measurement ~t_intervals ~rng =
+  if t_intervals <= 0 then invalid_arg "Run.run: no intervals";
+  let epoch_len =
+    match dynamics with
+    | Stationary -> t_intervals
+    | Redraw_every k ->
+        if k <= 0 then invalid_arg "Run.run: non-positive epoch";
+        k
+  in
+  let ov = Scenario.overlay scenario in
+  let n_links = Overlay.n_links ov and n_paths = Overlay.n_paths ov in
+  let prob_rng = Rng.split rng ~label:"probs" in
+  let state_rng = Rng.split rng ~label:"states" in
+  let loss_rng = Rng.split rng ~label:"loss" in
+  let link_congested = Array.init t_intervals (fun _ -> Bitset.create n_links) in
+  let path_good = Array.init n_paths (fun _ -> Bitset.create t_intervals) in
+  let epochs = ref [] in
+  let model = ref None in
+  for t = 0 to t_intervals - 1 do
+    if t mod epoch_len = 0 then begin
+      let probs = Scenario.draw_probs scenario prob_rng in
+      let len = min epoch_len (t_intervals - t) in
+      epochs := { length = len; probs } :: !epochs;
+      model := Some (Factor_model.make ov probs)
+    end;
+    let m = Option.get !model in
+    let congested = Factor_model.draw_interval m state_rng in
+    link_congested.(t) <- congested;
+    (match measurement with
+    | Ideal ->
+        Array.iter
+          (fun (p : Overlay.path) ->
+            let is_congested =
+              Array.exists (Bitset.get congested) p.Overlay.links
+            in
+            if not is_congested then Bitset.set path_good.(p.Overlay.id) t)
+          ov.Overlay.paths
+    | Probes { per_path; f } ->
+        let losses =
+          Array.init n_links (fun e ->
+              Probe.loss_rate loss_rng ~congested:(Bitset.get congested e))
+        in
+        Array.iter
+          (fun (p : Overlay.path) ->
+            let congested_measured =
+              Probe.measure_path loss_rng ~losses ~links:p.Overlay.links
+                ~n_probes:per_path ~f
+            in
+            if not congested_measured then
+              Bitset.set path_good.(p.Overlay.id) t)
+          ov.Overlay.paths)
+  done;
+  {
+    overlay = ov;
+    t_intervals;
+    link_congested;
+    path_good;
+    epochs = List.rev !epochs;
+  }
+
+(* Time-weighted average of a per-epoch quantity. *)
+let epoch_average result f =
+  let total = float_of_int result.t_intervals in
+  List.fold_left
+    (fun acc e ->
+      let m = Factor_model.make result.overlay e.probs in
+      acc +. (float_of_int e.length /. total *. f m))
+    0.0 result.epochs
+
+let true_link_marginal result e =
+  epoch_average result (fun m -> Factor_model.link_marginal m e)
+
+let true_good_prob result s =
+  epoch_average result (fun m -> Factor_model.good_prob m s)
+
+let true_congestion_prob result s =
+  epoch_average result (fun m -> Factor_model.congestion_prob m s)
+
+let true_congested_links result ~interval =
+  if interval < 0 || interval >= result.t_intervals then
+    invalid_arg "Run.true_congested_links: interval out of range";
+  Bitset.to_list result.link_congested.(interval)

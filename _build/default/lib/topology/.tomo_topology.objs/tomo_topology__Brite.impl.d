@@ -1,0 +1,1 @@
+lib/topology/brite.ml: Array Gen_common Graph Hashtbl List Overlay Tomo_util

@@ -1,0 +1,1 @@
+lib/topology/gen_common.ml: Array Graph Hashtbl List Overlay Printf Tomo_util

@@ -1,0 +1,1 @@
+lib/topology/gen_common.mli: Graph Hashtbl Overlay Tomo_util

@@ -1,0 +1,1 @@
+lib/topology/graph.ml: Array List Queue Tomo_util

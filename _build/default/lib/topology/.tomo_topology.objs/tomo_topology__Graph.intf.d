@@ -1,0 +1,1 @@
+lib/topology/graph.mli: Tomo_util

@@ -1,0 +1,1 @@
+lib/topology/overlay.ml: Array Format Hashtbl List String

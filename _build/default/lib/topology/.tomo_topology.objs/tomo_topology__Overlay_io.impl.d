@@ -1,0 +1,1 @@
+lib/topology/overlay_io.ml: Array Buffer Format Fun In_channel List Overlay Printf String

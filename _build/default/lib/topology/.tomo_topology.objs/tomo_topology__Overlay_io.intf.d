@@ -1,0 +1,1 @@
+lib/topology/overlay_io.mli: Format Overlay

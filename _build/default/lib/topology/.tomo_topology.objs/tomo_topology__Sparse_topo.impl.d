@@ -1,0 +1,1 @@
+lib/topology/sparse_topo.ml: Array Gen_common Graph Hashtbl List Overlay Tomo_util

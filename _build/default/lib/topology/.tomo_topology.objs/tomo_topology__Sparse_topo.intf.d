@@ -1,0 +1,1 @@
+lib/topology/sparse_topo.mli: Overlay

@@ -1,0 +1,63 @@
+(** Shared machinery for the topology generators: a two-level "internet"
+    (AS-level peering graph + per-AS router-level internals) and the
+    expansion of AS-level routes into AS-level link sequences backed by
+    router-level factors.
+
+    Both the Brite-like generator and the Sparse (traceroute-campaign)
+    generator drive this module; they differ only in the shape of the AS
+    graph and in how measurement paths are collected. *)
+
+type internet = {
+  as_graph : Graph.t;  (** peering relationships between ASes *)
+  internals : Graph.t array;
+      (** per-AS router-level topology, local router ids [0..r-1] *)
+  borders : (int * int, int * int) Hashtbl.t;
+      (** AS adjacency [(a, b)] with [a < b] → (border router in [a],
+          border router in [b]) *)
+}
+
+(** [generate_internet rng ~n_ases ~attach ~extra_edge_frac ~routers_lo
+    ~routers_hi] builds a random internet:
+
+    - the AS graph grows by preferential attachment, each new AS peering
+      with [attach] existing ASes (degree-weighted), then
+      [extra_edge_frac · n_ases] extra random peerings are added;
+    - each AS gets a connected internal router graph (ring plus random
+      chords) with between [routers_lo] and [routers_hi] routers;
+    - each peering is pinned to one border router on each side. *)
+val generate_internet :
+  Tomo_util.Rng.t ->
+  n_ases:int ->
+  attach:int ->
+  extra_edge_frac:float ->
+  routers_lo:int ->
+  routers_hi:int ->
+  internet
+
+(** [hub_as inet] is the AS of maximum peering degree — the natural
+    "source ISP" for the Brite scenario. *)
+val hub_as : internet -> int
+
+(** [expand_route b inet rng ~vantage_router ~dest_router ~as_route]
+    expands an AS-level route (node list, starting at the vantage AS) into
+    a sequence of AS-level link ids registered in builder [b]:
+
+    - consecutive ASes contribute an inter-domain link (owned by the
+      downstream AS, backed by one private factor);
+    - movement between routers inside one AS contributes an intra-domain
+      link backed by the factors (router-level edges) of the internal
+      shortest path, so intra-domain links of one AS share factors — the
+      correlation ground truth.
+
+    [vantage_router] is the local router id where the probing end-host
+    attaches in the first AS; [dest_router] the attachment in the last
+    AS.  Returns [None] if the route degenerates (single AS with vantage =
+    destination). *)
+val expand_route :
+  Overlay.Builder.b ->
+  internet ->
+  Tomo_util.Rng.t ->
+  vantage_router:int ->
+  dest_router:int ->
+  as_route:int list ->
+  int array option

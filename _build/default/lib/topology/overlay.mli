@@ -1,0 +1,92 @@
+(** Two-level network topologies: AS-level links over router-level
+    factors.
+
+    This mirrors the paper's measurement setup (§3.2).  The monitored
+    graph is AS-level: each *link* is either an inter-domain link between
+    border routers of peering ASes or an intra-domain path between two
+    border routers of the same AS.  Each AS-level link is backed by one or
+    more router-level links, called *factors* here.  Two AS-level links of
+    the same AS that share a factor become congested together when that
+    factor is congested — this is exactly the paper's correlation model
+    ("if a router-level link becomes congested, then all the AS-level
+    links that share this router-level link become congested at the same
+    time").
+
+    Invariant: a factor is owned by a single AS and only backs links of
+    that AS, so links of different ASes are independent — the paper's
+    Correlation Sets assumption (one correlation set per AS) holds by
+    construction in the simulated ground truth. *)
+
+type kind = Inter  (** inter-domain link between peering ASes *)
+          | Intra  (** intra-domain path between border routers of one AS *)
+
+type link = {
+  id : int;
+  owner_as : int;  (** correlation set this link belongs to *)
+  kind : kind;
+  factors : int array;  (** router-level links backing this link *)
+}
+
+type path = {
+  id : int;
+  links : int array;  (** AS-level link ids, in traversal order *)
+}
+
+type t = {
+  n_ases : int;
+  source_as : int;  (** the monitoring ("source") ISP *)
+  links : link array;
+  paths : path array;
+  n_factors : int;
+  factor_owner : int array;  (** owning AS of each factor *)
+}
+
+val n_links : t -> int
+val n_paths : t -> int
+
+(** [correlation_sets t] groups link ids by owning AS: one array of link
+    ids per AS that owns at least one link, in increasing AS order. *)
+val correlation_sets : t -> int array array
+
+(** [links_sharing_factor t] maps each factor to the links it backs. *)
+val links_sharing_factor : t -> int array array
+
+(** [validate t] checks structural invariants (factor ownership matches
+    link ownership, path links exist and never repeat within a path,
+    every path is non-empty).  @raise Failure describing the first
+    violation. *)
+val validate : t -> unit
+
+(** [pp_summary] prints node/link/path counts and sparsity indicators. *)
+val pp_summary : Format.formatter -> t -> unit
+
+(** Incremental construction with get-or-create semantics for links and
+    factors, plus optional pruning of links no surviving path uses. *)
+module Builder : sig
+  type overlay = t
+  type b
+
+  (** [create ~n_ases ~source_as] starts an empty builder. *)
+  val create : n_ases:int -> source_as:int -> b
+
+  (** [factor b ~owner ~key] returns the factor registered under
+      [(owner, key)], creating it on first use. *)
+  val factor : b -> owner:int -> key:string -> int
+
+  (** [link b ~owner ~key ~kind ~factors] returns the link registered
+      under [(owner, key)], creating it with the given backing factors on
+      first use.  [factors] is only evaluated on creation.
+      @raise Invalid_argument if a factor is owned by a different AS. *)
+  val link :
+    b -> owner:int -> key:string -> kind:kind -> factors:(unit -> int array)
+    -> int
+
+  (** [add_path b links] records a path; returns [None] if an identical
+      link sequence was already recorded (duplicate probes carry no
+      information), [Some id] otherwise. *)
+  val add_path : b -> int array -> int option
+
+  (** [finalize b] produces the overlay, pruning links and factors unused
+      by any path and compacting all identifiers. *)
+  val finalize : b -> overlay
+end

@@ -1,0 +1,1 @@
+lib/util/combin.ml: Array List

@@ -1,0 +1,150 @@
+type t = { len : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create: negative capacity";
+  { len; words = Array.make ((len + bits_per_word - 1) / bits_per_word) 0 }
+
+let length t = t.len
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let clear t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let assign t i b = if b then set t i else clear t i
+
+let get t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+(* Bits beyond [len] in the last word must stay zero so that [count],
+   [equal] and friends can work word-wise. [mask_tail] re-establishes that
+   invariant after whole-word operations such as [set_all]. *)
+let mask_tail t =
+  let r = t.len mod bits_per_word in
+  if r <> 0 && Array.length t.words > 0 then begin
+    let last = Array.length t.words - 1 in
+    t.words.(last) <- t.words.(last) land ((1 lsl r) - 1)
+  end
+
+let set_all t =
+  Array.fill t.words 0 (Array.length t.words) (-1);
+  mask_tail t
+
+let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
+let copy t = { len = t.len; words = Array.copy t.words }
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b =
+  a.len = b.len
+  && Array.length a.words = Array.length b.words
+  &&
+  let rec go i =
+    i >= Array.length a.words || (a.words.(i) = b.words.(i) && go (i + 1))
+  in
+  go 0
+
+let check_same a b =
+  if a.len <> b.len then invalid_arg "Bitset: capacity mismatch"
+
+let inter_into ~into src =
+  check_same into src;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land src.words.(i)
+  done
+
+let union_into ~into src =
+  check_same into src;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor src.words.(i)
+  done
+
+let diff_into ~into src =
+  check_same into src;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land lnot src.words.(i)
+  done
+
+let inter a b =
+  let r = copy a in
+  inter_into ~into:r b;
+  r
+
+let union a b =
+  let r = copy a in
+  union_into ~into:r b;
+  r
+
+let diff a b =
+  let r = copy a in
+  diff_into ~into:r b;
+  r
+
+let count_inter a b =
+  check_same a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let disjoint a b =
+  check_same a b;
+  let rec go i =
+    i >= Array.length a.words
+    || (a.words.(i) land b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let subset a b =
+  check_same a b;
+  let rec go i =
+    i >= Array.length a.words
+    || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to bits_per_word - 1 do
+        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+      done
+  done
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun i -> acc := f !acc i) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc i -> i :: acc) [] t)
+
+let of_list n l =
+  let t = create n in
+  List.iter (set t) l;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (to_list t)

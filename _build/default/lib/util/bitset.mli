@@ -1,0 +1,93 @@
+(** Fixed-capacity mutable bit sets.
+
+    Used throughout the tomography pipeline to store per-interval path
+    statuses (a [T]-bit row per path) and link/path incidence masks.  All
+    operations are total: indices are checked and out-of-range indices
+    raise [Invalid_argument]. *)
+
+type t
+
+(** [create n] is a bit set of capacity [n] with all bits cleared. *)
+val create : int -> t
+
+(** [length t] is the capacity [t] was created with. *)
+val length : t -> int
+
+(** [set t i] sets bit [i]. *)
+val set : t -> int -> unit
+
+(** [clear t i] clears bit [i]. *)
+val clear : t -> int -> unit
+
+(** [assign t i b] sets bit [i] to [b]. *)
+val assign : t -> int -> bool -> unit
+
+(** [get t i] is the value of bit [i]. *)
+val get : t -> int -> bool
+
+(** [set_all t] sets every bit. *)
+val set_all : t -> unit
+
+(** [clear_all t] clears every bit. *)
+val clear_all : t -> unit
+
+(** [copy t] is a fresh bit set equal to [t]. *)
+val copy : t -> t
+
+(** [count t] is the number of set bits. *)
+val count : t -> int
+
+(** [is_empty t] is [true] iff no bit is set. *)
+val is_empty : t -> bool
+
+(** [equal a b] is [true] iff [a] and [b] have the same capacity and the
+    same bits set. *)
+val equal : t -> t -> bool
+
+(** [inter_into ~into src] replaces [into] with [into ∧ src].
+    @raise Invalid_argument if capacities differ. *)
+val inter_into : into:t -> t -> unit
+
+(** [union_into ~into src] replaces [into] with [into ∨ src].
+    @raise Invalid_argument if capacities differ. *)
+val union_into : into:t -> t -> unit
+
+(** [diff_into ~into src] replaces [into] with [into ∧ ¬src].
+    @raise Invalid_argument if capacities differ. *)
+val diff_into : into:t -> t -> unit
+
+(** [inter a b] is a fresh bit set [a ∧ b]. *)
+val inter : t -> t -> t
+
+(** [union a b] is a fresh bit set [a ∨ b]. *)
+val union : t -> t -> t
+
+(** [diff a b] is a fresh bit set [a ∧ ¬b]. *)
+val diff : t -> t -> t
+
+(** [count_inter a b] is [count (inter a b)] without allocating. *)
+val count_inter : t -> t -> int
+
+(** [disjoint a b] is [true] iff [a] and [b] share no set bit. *)
+val disjoint : t -> t -> bool
+
+(** [subset a b] is [true] iff every bit set in [a] is set in [b]. *)
+val subset : t -> t -> bool
+
+(** [iter f t] applies [f] to the index of every set bit, in increasing
+    order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f init t] folds [f] over the indices of set bits in increasing
+    order. *)
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+(** [to_list t] is the increasing list of set-bit indices. *)
+val to_list : t -> int list
+
+(** [of_list n l] is a capacity-[n] bit set with exactly the bits in [l]
+    set. *)
+val of_list : int -> int list -> t
+
+(** [pp] prints a bit set as the list of its set indices. *)
+val pp : Format.formatter -> t -> unit

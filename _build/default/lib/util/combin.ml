@@ -1,0 +1,66 @@
+let choose n k =
+  if k < 0 || k > n then 0
+  else
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then acc
+      else
+        let acc' = acc * (n - k + i) / i in
+        if acc' < acc then max_int (* overflow *) else go acc' (i + 1)
+    in
+    go 1 1
+
+let iter_combinations xs k f =
+  let n = Array.length xs in
+  if k >= 0 && k <= n then
+    if k = 0 then f [||]
+    else begin
+      let idx = Array.init k (fun i -> i) in
+      let emit () = f (Array.map (fun i -> xs.(i)) idx) in
+      (* Standard lexicographic successor on index vectors. *)
+      let rec advance () =
+        emit ();
+        let rec bump j =
+          if j < 0 then false
+          else if idx.(j) < n - k + j then begin
+            idx.(j) <- idx.(j) + 1;
+            for l = j + 1 to k - 1 do
+              idx.(l) <- idx.(l - 1) + 1
+            done;
+            true
+          end
+          else bump (j - 1)
+        in
+        if bump (k - 1) then advance ()
+      in
+      advance ()
+    end
+
+let combinations xs k =
+  let acc = ref [] in
+  iter_combinations xs k (fun c -> acc := c :: !acc);
+  List.rev !acc
+
+exception Stop
+
+let iter_subsets_by_size xs ~max_size ~limit f =
+  let visited = ref 0 in
+  (try
+     let size_cap = min max_size (Array.length xs) in
+     for k = 1 to size_cap do
+       iter_combinations xs k (fun c ->
+           if !visited >= limit then raise Stop;
+           incr visited;
+           match f c with `Stop -> raise Stop | `Continue -> ())
+     done
+   with Stop -> ());
+  !visited
+
+let subsets_up_to xs ~max_size ~limit =
+  let acc = ref [] in
+  let (_ : int) =
+    iter_subsets_by_size xs ~max_size ~limit (fun c ->
+        acc := c :: !acc;
+        `Continue)
+  in
+  List.rev !acc

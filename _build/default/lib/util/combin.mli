@@ -1,0 +1,35 @@
+(** Combinatorial enumeration.
+
+    Algorithm 1 of the paper enumerates correlation subsets (subsets of a
+    correlation set up to a configured size) and path sets (subsets of the
+    candidate path pool, in increasing size, under a count cap).  These
+    helpers provide that enumeration without materializing power sets. *)
+
+(** [choose n k] is the binomial coefficient, saturating at [max_int] on
+    overflow.  [0] when [k < 0] or [k > n]. *)
+val choose : int -> int -> int
+
+(** [iter_combinations xs k f] applies [f] to every size-[k] combination
+    of the elements of [xs], each passed as a fresh array in the original
+    element order.  Combinations are produced in lexicographic index
+    order. *)
+val iter_combinations : 'a array -> int -> ('a array -> unit) -> unit
+
+(** [combinations xs k] materializes [iter_combinations] as a list. *)
+val combinations : 'a array -> int -> 'a array list
+
+(** [iter_subsets_by_size xs ~max_size ~limit f] applies [f] to non-empty
+    subsets of [xs] in increasing size (size 1 first), stopping after
+    [limit] subsets or size [max_size], whichever comes first.  [f]
+    returns [`Stop] to abort the enumeration early, [`Continue] to keep
+    going.  Returns the number of subsets visited. *)
+val iter_subsets_by_size :
+  'a array ->
+  max_size:int ->
+  limit:int ->
+  ('a array -> [ `Stop | `Continue ]) ->
+  int
+
+(** [subsets_up_to xs ~max_size ~limit] materializes the enumeration of
+    [iter_subsets_by_size] as a list. *)
+val subsets_up_to : 'a array -> max_size:int -> limit:int -> 'a array list

@@ -1,0 +1,67 @@
+type t = { state : Random.State.t; seed : int }
+
+let create seed = { state = Random.State.make [| seed; 0x746f6d6f |]; seed }
+
+let split t ~label =
+  let h = Hashtbl.hash (t.seed, label) in
+  (* Mix the label hash with the parent seed through a second hash round so
+     that children of adjacent seeds do not share low bits. *)
+  let mixed = Hashtbl.hash (h, t.seed lxor 0x9e3779b9) in
+  create ((h * 65599) lxor mixed)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  Random.State.int t.state bound
+
+let float t bound = Random.State.float t.state bound
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. Random.State.float t.state (hi -. lo)
+
+let bool t ~p =
+  if p <= 0. then false
+  else if p >= 1. then true
+  else Random.State.float t.state 1.0 < p
+
+let exponential t ~rate =
+  if rate <= 0. then invalid_arg "Rng.exponential: non-positive rate";
+  let u = 1.0 -. Random.State.float t.state 1.0 in
+  -.log u /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t.state (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(Random.State.int t.state (Array.length a))
+
+let sample t a k =
+  let n = Array.length a in
+  if k < 0 || k > n then invalid_arg "Rng.sample: bad sample size";
+  let idx = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: only the first [k] positions need settling. *)
+  for i = 0 to k - 1 do
+    let j = i + Random.State.int t.state (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.init k (fun i -> a.(idx.(i)))
+
+let pick_weighted t weights =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Rng.pick_weighted: weights sum to zero";
+  let x = Random.State.float t.state total in
+  let rec go i acc =
+    if i = Array.length weights - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

@@ -1,0 +1,871 @@
+(* Tests for the tomography algorithms: Algorithm 1 selection,
+   Prob_engine solving, the three Probability Computation algorithms,
+   Sparsity, Bayesian inference and metrics — against the paper's worked
+   examples and against sampled data with known ground truth. *)
+
+module Bitset = Tomo_util.Bitset
+module Rng = Tomo_util.Rng
+module Matrix = Tomo_linalg.Matrix
+module Model = Tomo.Model
+module Observations = Tomo.Observations
+module Subsets = Tomo.Subsets
+module Eqn = Tomo.Eqn
+module Algorithm1 = Tomo.Algorithm1
+module Prob_engine = Tomo.Prob_engine
+module Independence_pc = Tomo.Independence_pc
+module Correlation_heuristic = Tomo.Correlation_heuristic
+module Correlation_complete = Tomo.Correlation_complete
+module Sparsity = Tomo.Sparsity
+module Bayesian = Tomo.Bayesian
+module Metrics = Tomo.Metrics
+module Toy = Tomo.Toy
+module Pc_result = Tomo.Pc_result
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+let checkf tol = Alcotest.(check (float tol))
+
+let e1, e2, e3, e4 = (Toy.e1, Toy.e2, Toy.e3, Toy.e4)
+let p1, p2, p3 = (Toy.p1, Toy.p2, Toy.p3)
+
+(* Sample toy observations from an explicit factor model:
+   f1 -> {e1} with q1; fa -> {e2,e3} with qa (the correlation);
+   fb -> {e2}; fc -> {e3}; f4 -> {e4}. *)
+type toy_truth = { q1 : float; qa : float; qb : float; qc : float; q4 : float }
+
+let toy_truth = { q1 = 0.2; qa = 0.3; qb = 0.25; qc = 0.15; q4 = 0.1 }
+
+let toy_good_probs tt =
+  (* Closed-form good probabilities of the correlation subsets. *)
+  let g1 = 1.0 -. tt.q1 in
+  let g2 = (1.0 -. tt.qa) *. (1.0 -. tt.qb) in
+  let g3 = (1.0 -. tt.qa) *. (1.0 -. tt.qc) in
+  let g23 = (1.0 -. tt.qa) *. (1.0 -. tt.qb) *. (1.0 -. tt.qc) in
+  let g4 = 1.0 -. tt.q4 in
+  (g1, g2, g3, g23, g4)
+
+let sample_toy_states tt ~t ~seed =
+  let rng = Rng.create seed in
+  Array.init t (fun _ ->
+      let f1 = Rng.bool rng ~p:tt.q1 in
+      let fa = Rng.bool rng ~p:tt.qa in
+      let fb = Rng.bool rng ~p:tt.qb in
+      let fc = Rng.bool rng ~p:tt.qc in
+      let f4 = Rng.bool rng ~p:tt.q4 in
+      List.concat
+        [
+          (if f1 then [ e1 ] else []);
+          (if fa || fb then [ e2 ] else []);
+          (if fa || fc then [ e3 ] else []);
+          (if f4 then [ e4 ] else []);
+        ])
+
+let toy_obs ?(t = 8000) ?(seed = 42) tt =
+  Toy.observations ~interval_states:(sample_toy_states tt ~t ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_alg1_case1_full_rank () =
+  (* Case 1 satisfies Identifiability++: the selected system must have
+     full column rank over the paper's 5 unknowns. *)
+  let m = Toy.case1 () in
+  let obs = toy_obs toy_truth in
+  let sel = Algorithm1.select m obs in
+  check_int "5 unknowns (paper's Ê)" 5 (Eqn.n_vars sel.Algorithm1.registry);
+  check_int "full rank: empty null space" 0
+    (Matrix.cols sel.Algorithm1.nullspace);
+  check_int "minimum equations = unknowns" 5
+    (Array.length sel.Algorithm1.rows);
+  check_int "all identifiable" 5 (Algorithm1.n_identifiable sel)
+
+let test_alg1_case2_nonidentifiable () =
+  (* Case 2 violates Identifiability++: {e1,e4} and {e2,e3} are traversed
+     by the same paths. The system has 6 unknowns, reaches rank 5, and no
+     unknown is individually identifiable. *)
+  let m = Toy.case2 () in
+  let obs = toy_obs toy_truth in
+  let sel = Algorithm1.select m obs in
+  check_int "6 unknowns" 6 (Eqn.n_vars sel.Algorithm1.registry);
+  check_int "nullity 1" 1 (Matrix.cols sel.Algorithm1.nullspace);
+  check_int "nothing identifiable" 0 (Algorithm1.n_identifiable sel)
+
+let test_alg1_rows_are_independent () =
+  (* The selection never contains a linearly dependent row: the number of
+     rows equals the rank, i.e. vars - nullity. *)
+  let m = Toy.case2 () in
+  let obs = toy_obs toy_truth in
+  let sel = Algorithm1.select m obs in
+  check_int "rows = rank"
+    (Eqn.n_vars sel.Algorithm1.registry
+    - Matrix.cols sel.Algorithm1.nullspace)
+    (Array.length sel.Algorithm1.rows)
+
+let test_alg1_effective_restriction () =
+  (* With p3 always good, only {e1} and {e2} remain unknowns (paper §5.2
+     example) and both are identifiable. *)
+  let m = Toy.case1 () in
+  let obs = Toy.observations ~interval_states:[| [ e1 ]; [ e2 ]; [] |] in
+  let sel = Algorithm1.select m obs in
+  check_int "2 unknowns" 2 (Eqn.n_vars sel.Algorithm1.registry);
+  check_int "both identifiable" 2 (Algorithm1.n_identifiable sel)
+
+(* ------------------------------------------------------------------ *)
+(* Prob_engine on the toy topology                                     *)
+(* ------------------------------------------------------------------ *)
+
+let solve_case1 ?(t = 8000) ?(seed = 42) () =
+  let m = Toy.case1 () in
+  let obs = toy_obs ~t ~seed toy_truth in
+  let sel = Algorithm1.select m obs in
+  (m, Prob_engine.solve sel obs)
+
+let test_engine_recovers_good_probs () =
+  let m, eng = solve_case1 () in
+  let g1, g2, g3, g23, g4 = toy_good_probs toy_truth in
+  let get corr links =
+    match Prob_engine.good_prob eng (Subsets.make m ~corr links) with
+    | Some g -> g
+    | None -> Alcotest.fail "expected identifiable"
+  in
+  checkf 0.03 "G(e1)" g1 (get 0 [| e1 |]);
+  checkf 0.03 "G(e2)" g2 (get 1 [| e2 |]);
+  checkf 0.03 "G(e3)" g3 (get 1 [| e3 |]);
+  checkf 0.03 "G(e2,e3)" g23 (get 1 [| e2; e3 |]);
+  checkf 0.03 "G(e4)" g4 (get 2 [| e4 |])
+
+let test_engine_link_marginals () =
+  let _, eng = solve_case1 () in
+  let g1, g2, g3, _, g4 = toy_good_probs toy_truth in
+  checkf 0.03 "P(Xe1=1)" (1.0 -. g1) (Prob_engine.link_marginal eng e1);
+  checkf 0.03 "P(Xe2=1)" (1.0 -. g2) (Prob_engine.link_marginal eng e2);
+  checkf 0.03 "P(Xe3=1)" (1.0 -. g3) (Prob_engine.link_marginal eng e3);
+  checkf 0.03 "P(Xe4=1)" (1.0 -. g4) (Prob_engine.link_marginal eng e4);
+  List.iter
+    (fun e ->
+      check_bool "identifiable" true (Prob_engine.link_identifiable eng e))
+    [ e1; e2; e3; e4 ]
+
+let test_engine_congestion_prob () =
+  (* P(e2, e3 both congested) = 1 - G2 - G3 + G23; and across correlation
+     sets probabilities multiply. *)
+  let m, eng = solve_case1 () in
+  ignore m;
+  let _, g2, g3, g23, g4 = toy_good_probs toy_truth in
+  let truth_pair = 1.0 -. g2 -. g3 +. g23 in
+  (match Prob_engine.congestion_prob eng ~corr:1 [| e2; e3 |] with
+  | Some p -> checkf 0.03 "P(e2,e3 congested)" truth_pair p
+  | None -> Alcotest.fail "pair should be identifiable");
+  match Prob_engine.set_congestion_prob eng [| e2; e3; e4 |] with
+  | Some p ->
+      checkf 0.03 "cross-set product" (truth_pair *. (1.0 -. g4)) p
+  | None -> Alcotest.fail "cross-set query should succeed"
+
+let test_engine_case2_unidentifiable () =
+  let m = Toy.case2 () in
+  let obs = toy_obs toy_truth in
+  let sel = Algorithm1.select m obs in
+  let eng = Prob_engine.solve sel obs in
+  (* The pair {e2,e3} exists as a variable but is not identifiable. *)
+  (match Prob_engine.good_prob eng (Subsets.make m ~corr:1 [| e2; e3 |]) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "Case 2 pair must not be identifiable");
+  (* The minimum-norm estimate still exists. *)
+  match Prob_engine.good_prob_est eng (Subsets.make m ~corr:1 [| e2; e3 |])
+  with
+  | Some g -> check_bool "estimate in range" true (g >= 0.0 && g <= 1.0)
+  | None -> Alcotest.fail "estimate must exist"
+
+let test_engine_always_good_marginal_zero () =
+  let m = Toy.case1 () in
+  let obs = Toy.observations ~interval_states:[| [ e1 ]; [ e2 ]; [] |] in
+  let sel = Algorithm1.select m obs in
+  let eng = Prob_engine.solve sel obs in
+  checkf 1e-12 "e3 certified good" 0.0 (Prob_engine.link_marginal eng e3);
+  checkf 1e-12 "e4 certified good" 0.0 (Prob_engine.link_marginal eng e4);
+  check_bool "certified good counts as identifiable" true
+    (Prob_engine.link_identifiable eng e3)
+
+let test_engine_pattern_logprob () =
+  let m, eng = solve_case1 () in
+  ignore m;
+  let _, g2, g3, g23, _ = toy_good_probs toy_truth in
+  (* Pattern within corr set 1: e2 congested, e3 good:
+     P = G(e3) - G(e2,e3). *)
+  let lp =
+    Prob_engine.pattern_logprob eng ~corr:1 ~congested:[| e2 |]
+      ~good:[| e3 |]
+  in
+  checkf 0.1 "P(e2 cong, e3 good)" (log (g3 -. g23)) lp;
+  (* Both good: log G23. *)
+  let lp2 =
+    Prob_engine.pattern_logprob eng ~corr:1 ~congested:[||]
+      ~good:[| e2; e3 |]
+  in
+  checkf 0.1 "P(both good)" (log g23) lp2;
+  ignore g2
+
+(* ------------------------------------------------------------------ *)
+(* Probability Computation baselines                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_independence_pc_uncorrelated () =
+  (* Without correlation (qa = 0) Independence is consistent and must
+     recover the marginals. *)
+  let tt = { toy_truth with qa = 0.0 } in
+  let m = Toy.case1 () in
+  let obs = toy_obs ~t:8000 ~seed:7 tt in
+  let r = Independence_pc.compute m obs in
+  checkf 0.03 "e1" tt.q1 r.Pc_result.marginals.(e1);
+  checkf 0.03 "e2" tt.qb r.Pc_result.marginals.(e2);
+  checkf 0.03 "e3" tt.qc r.Pc_result.marginals.(e3);
+  checkf 0.03 "e4" tt.q4 r.Pc_result.marginals.(e4)
+
+let test_independence_pc_breaks_under_correlation () =
+  (* §3.1: with e2, e3 strongly correlated the Independence equations are
+     wrong. Correlation-complete must beat Independence on the correlated
+     links. *)
+  let tt = { q1 = 0.1; qa = 0.45; qb = 0.0; qc = 0.0; q4 = 0.1 } in
+  let m = Toy.case1 () in
+  let obs = toy_obs ~t:8000 ~seed:11 tt in
+  let ind = Independence_pc.compute m obs in
+  let cc, _ = Correlation_complete.compute m obs in
+  let truth = [| tt.q1; tt.qa; tt.qa; tt.q4 |] in
+  let err r =
+    Metrics.mean_abs_error ~truth ~estimate:r.Pc_result.marginals
+      ~over:[ e2; e3 ]
+  in
+  check_bool "correlation-complete beats independence on correlated pair"
+    true
+    (err cc < err ind)
+
+let test_correlation_heuristic_runs () =
+  let m = Toy.case1 () in
+  let obs = toy_obs toy_truth in
+  let r, _eng = Correlation_heuristic.compute m obs in
+  let g1, _, _, _, _ = toy_good_probs toy_truth in
+  checkf 0.05 "heuristic recovers e1" (1.0 -. g1)
+    r.Pc_result.marginals.(e1);
+  (* On the 3-path toy the pool is tiny; at scale it dwarfs the unknown
+     count (asserted by the integration tests). *)
+  check_bool "forms at least as many equations as unknowns" true
+    (r.Pc_result.n_rows >= r.Pc_result.n_vars)
+
+let test_correlation_complete_fewer_rows () =
+  (* The paper's claim: Correlation-complete forms the minimum number of
+     equations; the heuristic forms significantly more. *)
+  let m = Toy.case1 () in
+  let obs = toy_obs toy_truth in
+  let cc, _ = Correlation_complete.compute m obs in
+  let ch, _ = Correlation_heuristic.compute m obs in
+  check_bool "complete never uses more equations" true
+    (cc.Pc_result.n_rows <= ch.Pc_result.n_rows);
+  check_bool "complete rows = vars here" true
+    (cc.Pc_result.n_rows = cc.Pc_result.n_vars)
+
+(* ------------------------------------------------------------------ *)
+(* Sparsity                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let infer_sparsity m congested =
+  let n_paths = m.Model.n_paths in
+  let congested_paths = Bitset.of_list n_paths congested in
+  let good_paths = Bitset.create n_paths in
+  Bitset.set_all good_paths;
+  Bitset.diff_into ~into:good_paths congested_paths;
+  Sparsity.infer m ~congested_paths ~good_paths
+
+let test_sparsity_paper_example () =
+  (* §3.1: "if the congested paths are {p1,p2,p3}, Sparsity will infer
+     that the congested links are {e1,e3}". *)
+  let m = Toy.case1 () in
+  let inferred = infer_sparsity m [ p1; p2; p3 ] in
+  check_ints "paper's inference" [ e1; e3 ] (Bitset.to_list inferred)
+
+let test_sparsity_counterexample_metrics () =
+  (* §3.1 continued: if e2 and e3 were actually congested, Sparsity
+     "will miss one congested link and falsely blame one good link". *)
+  let m = Toy.case1 () in
+  let inferred = infer_sparsity m [ p1; p2; p3 ] in
+  let actual = Bitset.of_list 4 [ e2; e3 ] in
+  (match Metrics.detection_rate ~actual ~inferred with
+  | Some dr -> checkf 1e-9 "detects half" 0.5 dr
+  | None -> Alcotest.fail "defined");
+  match Metrics.false_positive_rate ~actual ~inferred with
+  | Some fpr -> checkf 1e-9 "half the blame is false" 0.5 fpr
+  | None -> Alcotest.fail "defined"
+
+let test_sparsity_good_paths_exonerate () =
+  (* If p3 is good, e3 and e4 are exonerated; congested p2 must be blamed
+     on e1. *)
+  let m = Toy.case1 () in
+  let inferred = infer_sparsity m [ p1; p2 ] in
+  check_ints "only e1" [ e1 ] (Bitset.to_list inferred)
+
+let test_sparsity_all_good () =
+  let m = Toy.case1 () in
+  let inferred = infer_sparsity m [] in
+  check_bool "nothing inferred" true (Bitset.is_empty inferred)
+
+(* ------------------------------------------------------------------ *)
+(* Bayesian inference                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_bayesian_independence_worked_example () =
+  (* §3.1 worked example: congested paths {p1,p2}, p3 good. Solutions are
+     {e1} (probability 0.8 of occurring) and {e1,e2} (0.1). The MAP
+     choice is {e1}. With marginals P(e1)=0.9, P(e2)=0.1 the greedy
+     picks exactly that. *)
+  let m = Toy.case1 () in
+  let congested_paths = Bitset.of_list 3 [ p1; p2 ] in
+  let good_paths = Bitset.of_list 3 [ p3 ] in
+  let inferred =
+    Bayesian.infer_independence m
+      ~marginals:[| 0.9; 0.1; 0.0; 0.0 |]
+      ~congested_paths ~good_paths
+  in
+  check_ints "MAP solution {e1}" [ e1 ] (Bitset.to_list inferred)
+
+let test_bayesian_independence_prefers_likely () =
+  (* All paths congested; e2,e3 highly likely congested, e1 rarely. The
+     pruning must drop e1 when {e2,e3} explains everything more
+     probably... but e4 and e3 also cover p3. With P(e2)=P(e3)=0.8 and
+     P(e1)=P(e4)=0.01 the likeliest consistent cover is {e2,e3}. *)
+  let m = Toy.case1 () in
+  let congested_paths = Bitset.of_list 3 [ p1; p2; p3 ] in
+  let good_paths = Bitset.create 3 in
+  let inferred =
+    Bayesian.infer_independence m
+      ~marginals:[| 0.01; 0.8; 0.8; 0.01 |]
+      ~congested_paths ~good_paths
+  in
+  check_ints "picks the probable pair" [ e2; e3 ] (Bitset.to_list inferred)
+
+let test_bayesian_correlation_uses_joint () =
+  (* e2 and e3 perfectly correlated (factor a only): when all paths are
+     congested, the correlation-aware MAP must pick {e2,e3} (the actual
+     frequent event) over Sparsity's {e1,e3}. *)
+  let tt = { q1 = 0.05; qa = 0.4; qb = 0.0; qc = 0.0; q4 = 0.05 } in
+  let m = Toy.case1 () in
+  let obs = toy_obs ~t:8000 ~seed:3 tt in
+  let sel = Algorithm1.select m obs in
+  let eng = Prob_engine.solve sel obs in
+  let congested_paths = Bitset.of_list 3 [ p1; p2; p3 ] in
+  let good_paths = Bitset.create 3 in
+  let inferred =
+    Bayesian.infer_correlation m ~engine:eng ~congested_paths ~good_paths
+  in
+  check_bool "e2 in solution" true (Bitset.get inferred e2);
+  check_bool "e3 in solution" true (Bitset.get inferred e3)
+
+let test_solution_logprob_ranks_truth () =
+  let tt = { q1 = 0.05; qa = 0.4; qb = 0.0; qc = 0.0; q4 = 0.05 } in
+  let m = Toy.case1 () in
+  let obs = toy_obs ~t:8000 ~seed:3 tt in
+  let sel = Algorithm1.select m obs in
+  let eng = Prob_engine.solve sel obs in
+  let lp links = Bayesian.solution_logprob m ~engine:eng
+      (Bitset.of_list 4 links)
+  in
+  (* {e2,e3} happens with probability ~qa(1-q1)(1-q4) ≈ 0.36;
+     {e1,e3} alone is impossible under perfect correlation (≈ 0). *)
+  check_bool "correlated pair more probable than split" true
+    (lp [ e2; e3 ] > lp [ e1; e3 ])
+
+(* ------------------------------------------------------------------ *)
+(* Confidence intervals                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Confidence = Tomo.Confidence
+
+let test_confidence_brackets_point () =
+  let m, eng = solve_case1 ~t:2000 () in
+  ignore m;
+  let cis =
+    Confidence.link_marginal_cis eng ~resamples:40 ~level:0.9
+      ~rng:(Rng.create 77)
+  in
+  check_int "one ci per link" 4 (Array.length cis);
+  Array.iter
+    (fun ci ->
+      check_bool "lo <= hi" true (ci.Confidence.lo <= ci.Confidence.hi);
+      check_bool "interval in [0,1]" true
+        (ci.Confidence.lo >= 0.0 && ci.Confidence.hi <= 1.0))
+    cis;
+  (* With 2000 intervals the CI half-width should be modest and the true
+     values covered for most links. *)
+  let truths = [| 0.2; 0.475; 0.405; 0.1 |] in
+  (* truth from toy_truth: e1 = q1; e2 = 1-(1-qa)(1-qb); e3 =
+     1-(1-qa)(1-qc); e4 = q4. *)
+  let covered = ref 0 in
+  Array.iteri
+    (fun e ci ->
+      if truths.(e) >= ci.Confidence.lo -. 0.02
+         && truths.(e) <= ci.Confidence.hi +. 0.02
+      then incr covered)
+    cis;
+  check_bool "CIs cover most true marginals" true (!covered >= 3)
+
+let test_confidence_narrows_with_t () =
+  let width eng =
+    let cis =
+      Confidence.link_marginal_cis eng ~resamples:30 ~level:0.9
+        ~rng:(Rng.create 5)
+    in
+    Array.fold_left
+      (fun acc ci -> acc +. (ci.Confidence.hi -. ci.Confidence.lo))
+      0.0 cis
+  in
+  let _, eng_short = solve_case1 ~t:300 ~seed:9 () in
+  let _, eng_long = solve_case1 ~t:6000 ~seed:9 () in
+  check_bool "longer experiments give narrower intervals" true
+    (width eng_long < width eng_short)
+
+let test_confidence_subset_ci () =
+  let m, eng = solve_case1 ~t:2000 () in
+  let subset = Subsets.make m ~corr:1 [| e2; e3 |] in
+  match
+    Confidence.subset_good_prob_ci eng ~subset ~resamples:30 ~level:0.9
+      ~rng:(Rng.create 3)
+  with
+  | Some ci ->
+      let _, _, _, g23, _ = toy_good_probs toy_truth in
+      check_bool "covers truth" true
+        (g23 >= ci.Tomo.Confidence.lo -. 0.05
+        && g23 <= ci.Tomo.Confidence.hi +. 0.05)
+  | None -> Alcotest.fail "subset is registered; CI expected"
+
+let test_confidence_validation () =
+  let _, eng = solve_case1 ~t:300 () in
+  Alcotest.check_raises "resamples >= 2"
+    (Invalid_argument "Confidence: need >= 2 resamples") (fun () ->
+      ignore
+        (Confidence.link_marginal_cis eng ~resamples:1 ~level:0.9
+           ~rng:(Rng.create 1)));
+  Alcotest.check_raises "level in (0,1)"
+    (Invalid_argument "Confidence: level outside (0,1)") (fun () ->
+      ignore
+        (Confidence.link_marginal_cis eng ~resamples:5 ~level:1.5
+           ~rng:(Rng.create 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_edge_cases () =
+  let actual = Bitset.of_list 4 [ 0 ] in
+  let nothing = Bitset.create 4 in
+  check_bool "DR undefined when nothing congested" true
+    (Metrics.detection_rate ~actual:nothing ~inferred:actual = None);
+  check_bool "FPR undefined when nothing inferred" true
+    (Metrics.false_positive_rate ~actual ~inferred:nothing = None);
+  (match Metrics.detection_rate ~actual ~inferred:actual with
+  | Some dr -> checkf 1e-12 "perfect detection" 1.0 dr
+  | None -> Alcotest.fail "defined");
+  match Metrics.mean_opt [ Some 1.0; None; Some 0.0 ] with
+  | Some v -> checkf 1e-12 "mean over defined" 0.5 v
+  | None -> Alcotest.fail "defined"
+
+let test_metrics_mae () =
+  checkf 1e-12 "mae over subset" 0.25
+    (Metrics.mean_abs_error ~truth:[| 0.0; 1.0; 0.5 |]
+       ~estimate:[| 0.5; 1.0; 0.5 |]
+       ~over:[ 0; 1 ])
+
+let prop_metrics_bounds =
+  QCheck.Test.make ~name:"DR and FPR always within [0,1]" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_bound 10) (int_bound 19))
+        (list_of_size Gen.(int_bound 10) (int_bound 19)))
+    (fun (a, i) ->
+      let actual = Bitset.of_list 20 a and inferred = Bitset.of_list 20 i in
+      let ok_opt = function
+        | None -> true
+        | Some v -> v >= 0.0 && v <= 1.0
+      in
+      ok_opt (Metrics.detection_rate ~actual ~inferred)
+      && ok_opt (Metrics.false_positive_rate ~actual ~inferred))
+
+let prop_engine_probabilities_in_range =
+  QCheck.Test.make
+    ~name:"toy engine marginals stay in [0,1] across random truths"
+    ~count:15 (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let tt =
+        {
+          q1 = Rng.float rng 0.9;
+          qa = Rng.float rng 0.9;
+          qb = Rng.float rng 0.9;
+          qc = Rng.float rng 0.9;
+          q4 = Rng.float rng 0.9;
+        }
+      in
+      let m = Toy.case1 () in
+      let obs = toy_obs ~t:600 ~seed tt in
+      let sel = Algorithm1.select m obs in
+      let eng = Prob_engine.solve sel obs in
+      List.for_all
+        (fun e ->
+          let p = Prob_engine.link_marginal eng e in
+          p >= 0.0 && p <= 1.0)
+        [ e1; e2; e3; e4 ])
+
+(* ------------------------------------------------------------------ *)
+(* SCFS (Duffield's tree algorithm, reference [8])                     *)
+(* ------------------------------------------------------------------ *)
+
+module Scfs = Tomo.Scfs
+
+(* A 3-level binary-ish tree:
+        root
+       /    \
+      0      1
+     / \      \
+    2   3      4
+   leaves: 2, 3, 4 => paths p0=(0,2), p1=(0,3), p2=(1,4). *)
+let tree () =
+  Scfs.make ~parent:[| None; None; Some 0; Some 0; Some 1 |]
+
+let test_scfs_structure () =
+  let t = tree () in
+  check_int "links" 5 (Scfs.n_links t);
+  Alcotest.(check (array int)) "leaves" [| 2; 3; 4 |] (Scfs.leaves t);
+  Alcotest.(check (array int)) "path of leaf 3" [| 0; 3 |]
+    (Scfs.path_links t ~leaf:3)
+
+let test_scfs_blames_subtree_root () =
+  (* Both leaves under link 0 congested: SCFS blames 0 alone. *)
+  let t = tree () in
+  let inferred = Scfs.infer t ~congested_paths:(Bitset.of_list 3 [ 0; 1 ]) in
+  check_ints "blames the common parent" [ 0 ] (Bitset.to_list inferred)
+
+let test_scfs_blames_leaf () =
+  (* Only one leaf under link 0 congested: the leaf link is blamed. *)
+  let t = tree () in
+  let inferred = Scfs.infer t ~congested_paths:(Bitset.of_list 3 [ 0 ]) in
+  check_ints "blames the leaf" [ 2 ] (Bitset.to_list inferred)
+
+let test_scfs_all_good () =
+  let t = tree () in
+  let inferred = Scfs.infer t ~congested_paths:(Bitset.create 3) in
+  check_bool "nothing blamed" true (Bitset.is_empty inferred)
+
+let test_scfs_validation () =
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Scfs.make: cycle in parent relation") (fun () ->
+      ignore (Scfs.make ~parent:[| Some 1; Some 0 |]));
+  Alcotest.check_raises "range checked"
+    (Invalid_argument "Scfs.make: parent out of range") (fun () ->
+      ignore (Scfs.make ~parent:[| Some 9 |]))
+
+let test_scfs_to_model () =
+  let t = tree () in
+  let m = Scfs.to_model t in
+  check_int "5 links" 5 m.Model.n_links;
+  check_int "3 paths" 3 m.Model.n_paths;
+  (* Sparsity on the tree model agrees with SCFS on the subtree-root
+     case: link 0 explains both congested paths with one pick. *)
+  let congested_paths = Bitset.of_list 3 [ 0; 1 ] in
+  let good_paths = Bitset.of_list 3 [ 2 ] in
+  let sparsity = Sparsity.infer m ~congested_paths ~good_paths in
+  check_ints "sparsity = scfs here" [ 0 ] (Bitset.to_list sparsity)
+
+let prop_scfs_consistent_and_minimal =
+  QCheck.Test.make
+    ~name:"SCFS explains every congested leaf and only maximal subtrees"
+    ~count:80
+    QCheck.(pair (int_range 0 5_000) (int_range 2 12))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      (* Random forest: each link's parent is a lower-numbered link or
+         the root. *)
+      let parent =
+        Array.init n (fun k ->
+            if k = 0 || Rng.bool rng ~p:0.3 then None
+            else Some (Rng.int rng k))
+      in
+      let t = Scfs.make ~parent in
+      let n_leaves = Array.length (Scfs.leaves t) in
+      let congested =
+        Tomo_util.Bitset.of_list n_leaves
+          (List.filter
+             (fun _ -> Rng.bool rng ~p:0.4)
+             (List.init n_leaves (fun i -> i)))
+      in
+      let inferred = Scfs.infer t ~congested_paths:congested in
+      (* every congested leaf's path hits an inferred link, and no good
+         leaf's path does *)
+      let ok = ref true in
+      Array.iteri
+        (fun i leaf ->
+          let path = Scfs.path_links t ~leaf in
+          let covered =
+            Array.exists (Tomo_util.Bitset.get inferred) path
+          in
+          if covered <> Tomo_util.Bitset.get congested i then ok := false)
+        (Scfs.leaves t);
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-cutting properties on random small models                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random small mesh model: n links in k correlation sets, m random
+   paths. *)
+let random_model rng =
+  let n_links = 3 + Rng.int rng 8 in
+  let n_sets = 1 + Rng.int rng 3 in
+  let corr_of = Array.init n_links (fun _ -> Rng.int rng n_sets) in
+  let corr_sets =
+    Array.init n_sets (fun c ->
+        Array.of_list
+          (List.filter
+             (fun e -> corr_of.(e) = c)
+             (List.init n_links (fun e -> e))))
+    |> Array.to_list
+    |> List.filter (fun s -> Array.length s > 0)
+    |> Array.of_list
+  in
+  let n_paths = 2 + Rng.int rng 6 in
+  let paths =
+    Array.init n_paths (fun _ ->
+        let len = 1 + Rng.int rng (min 4 n_links) in
+        Rng.sample rng (Array.init n_links (fun e -> e)) len)
+  in
+  Model.make ~n_links ~paths ~corr_sets
+
+let random_obs rng model ~t =
+  let probs = Array.init model.Model.n_links (fun _ -> Rng.float rng 0.6) in
+  let states =
+    Array.init t (fun _ ->
+        List.filter
+          (fun e -> Rng.bool rng ~p:probs.(e))
+          (List.init model.Model.n_links (fun e -> e)))
+  in
+  let path_good =
+    Array.map
+      (fun links ->
+        let b = Bitset.create t in
+        Array.iteri
+          (fun i congested ->
+            if
+              not
+                (List.exists
+                   (fun e -> Array.exists (fun l -> l = e) links)
+                   congested)
+            then Bitset.set b i)
+          states;
+        b)
+      (Array.init model.Model.n_paths (fun p ->
+           Array.of_list (Bitset.to_list model.Model.path_links.(p))))
+  in
+  Observations.make ~t_intervals:t ~path_good
+
+let prop_selection_rows_well_formed =
+  QCheck.Test.make
+    ~name:"Algorithm 1 rows: vars sorted, distinct, registered" ~count:40
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let model = random_model rng in
+      let obs = random_obs rng model ~t:60 in
+      let sel = Algorithm1.select model obs in
+      Array.for_all
+        (fun row ->
+          let vars = row.Eqn.vars in
+          let sorted = ref true in
+          Array.iteri
+            (fun i v ->
+              if i > 0 && vars.(i - 1) >= v then sorted := false;
+              if v < 0 || v >= Eqn.n_vars sel.Algorithm1.registry then
+                sorted := false)
+            vars;
+          !sorted)
+        sel.Algorithm1.rows)
+
+let prop_selection_rank_consistent =
+  QCheck.Test.make
+    ~name:"Algorithm 1: rows + nullity = unknowns (independent selection)"
+    ~count:40 (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create (seed + 50_000) in
+      let model = random_model rng in
+      let obs = random_obs rng model ~t:60 in
+      let sel = Algorithm1.select model obs in
+      Array.length sel.Algorithm1.rows
+      + Matrix.cols sel.Algorithm1.nullspace
+      = Eqn.n_vars sel.Algorithm1.registry)
+
+let consistent_inference infer =
+  QCheck.Test.make
+    ~name:
+      ("inference is consistent: covers congested paths, avoids \
+        good-path links (" ^ fst infer ^ ")")
+    ~count:40 (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create (seed + 90_000) in
+      let model = random_model rng in
+      let obs = random_obs rng model ~t:40 in
+      let interval = Rng.int rng 40 in
+      let congested_paths = Observations.congested_paths_at obs ~interval in
+      let good_paths = Observations.good_paths_at obs ~interval in
+      let inferred = (snd infer) model obs ~congested_paths ~good_paths in
+      (* no inferred link lies on a good path *)
+      let good_links =
+        Model.links_of_paths model
+          (Array.of_list (Bitset.to_list good_paths))
+      in
+      Bitset.disjoint inferred good_links
+      && (* every congested path is covered, except paths with no
+            candidate link at all (impossible under ideal measurement,
+            tolerated for robustness) *)
+      Bitset.fold
+        (fun ok p ->
+          ok
+          &&
+          let links = model.Model.path_links.(p) in
+          (not (Bitset.disjoint links inferred))
+          || Bitset.subset links good_links)
+        true congested_paths)
+
+let prop_sparsity_consistent =
+  consistent_inference
+    ( "sparsity",
+      fun model _obs ~congested_paths ~good_paths ->
+        Sparsity.infer model ~congested_paths ~good_paths )
+
+let prop_bayesian_ind_consistent =
+  consistent_inference
+    ( "bayesian-independence",
+      fun model obs ~congested_paths ~good_paths ->
+        let pc = Independence_pc.compute model obs in
+        Bayesian.infer_independence model
+          ~marginals:pc.Pc_result.marginals ~congested_paths ~good_paths )
+
+let prop_bayesian_corr_consistent =
+  consistent_inference
+    ( "bayesian-correlation",
+      fun model obs ~congested_paths ~good_paths ->
+        let _, engine = Correlation_complete.compute model obs in
+        Bayesian.infer_correlation model ~engine ~congested_paths
+          ~good_paths )
+
+let prop_identifiable_good_probs_in_range =
+  QCheck.Test.make
+    ~name:"identifiable good-probabilities stay within [0,1]" ~count:30
+    (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create (seed + 130_000) in
+      let model = random_model rng in
+      let obs = random_obs rng model ~t:80 in
+      let sel = Algorithm1.select model obs in
+      let eng = Prob_engine.solve sel obs in
+      let ok = ref true in
+      for v = 0 to Eqn.n_vars sel.Algorithm1.registry - 1 do
+        let s = Eqn.subset_of_var sel.Algorithm1.registry v in
+        match Prob_engine.good_prob eng s with
+        | Some g -> if g < 0.0 || g > 1.0 then ok := false
+        | None -> ()
+      done;
+      !ok)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "algorithms"
+    [
+      ( "algorithm1",
+        [
+          Alcotest.test_case "Case 1: full rank, 5 equations" `Quick
+            test_alg1_case1_full_rank;
+          Alcotest.test_case "Case 2: Identifiability++ fails" `Quick
+            test_alg1_case2_nonidentifiable;
+          Alcotest.test_case "selected rows are independent" `Quick
+            test_alg1_rows_are_independent;
+          Alcotest.test_case "restriction to potentially congested" `Quick
+            test_alg1_effective_restriction;
+        ] );
+      ( "prob_engine",
+        [
+          Alcotest.test_case "recovers subset good-probs" `Slow
+            test_engine_recovers_good_probs;
+          Alcotest.test_case "link marginals" `Slow
+            test_engine_link_marginals;
+          Alcotest.test_case "congestion probabilities" `Slow
+            test_engine_congestion_prob;
+          Alcotest.test_case "Case-2 non-identifiability" `Slow
+            test_engine_case2_unidentifiable;
+          Alcotest.test_case "always-good links report 0" `Quick
+            test_engine_always_good_marginal_zero;
+          Alcotest.test_case "pattern log-probabilities" `Slow
+            test_engine_pattern_logprob;
+          qc prop_engine_probabilities_in_range;
+        ] );
+      ( "pc_baselines",
+        [
+          Alcotest.test_case "Independence correct when independent" `Slow
+            test_independence_pc_uncorrelated;
+          Alcotest.test_case "Independence breaks under correlation" `Slow
+            test_independence_pc_breaks_under_correlation;
+          Alcotest.test_case "Correlation-heuristic sane" `Slow
+            test_correlation_heuristic_runs;
+          Alcotest.test_case "complete forms fewer equations" `Slow
+            test_correlation_complete_fewer_rows;
+        ] );
+      ( "sparsity",
+        [
+          Alcotest.test_case "paper's Fig.1 inference" `Quick
+            test_sparsity_paper_example;
+          Alcotest.test_case "paper's counterexample scoring" `Quick
+            test_sparsity_counterexample_metrics;
+          Alcotest.test_case "good paths exonerate links" `Quick
+            test_sparsity_good_paths_exonerate;
+          Alcotest.test_case "no congestion" `Quick test_sparsity_all_good;
+        ] );
+      ( "bayesian",
+        [
+          Alcotest.test_case "§3.1 worked example" `Quick
+            test_bayesian_independence_worked_example;
+          Alcotest.test_case "prefers likely links" `Quick
+            test_bayesian_independence_prefers_likely;
+          Alcotest.test_case "correlation-aware MAP" `Slow
+            test_bayesian_correlation_uses_joint;
+          Alcotest.test_case "solution likelihood ranking" `Slow
+            test_solution_logprob_ranks_truth;
+        ] );
+      ( "scfs",
+        [
+          Alcotest.test_case "tree structure" `Quick test_scfs_structure;
+          Alcotest.test_case "blames subtree root" `Quick
+            test_scfs_blames_subtree_root;
+          Alcotest.test_case "blames single leaf" `Quick
+            test_scfs_blames_leaf;
+          Alcotest.test_case "all good" `Quick test_scfs_all_good;
+          Alcotest.test_case "validation" `Quick test_scfs_validation;
+          Alcotest.test_case "tree-to-mesh bridge" `Quick
+            test_scfs_to_model;
+          qc prop_scfs_consistent_and_minimal;
+        ] );
+      ( "properties",
+        [
+          qc prop_selection_rows_well_formed;
+          qc prop_selection_rank_consistent;
+          qc prop_sparsity_consistent;
+          qc prop_bayesian_ind_consistent;
+          qc prop_bayesian_corr_consistent;
+          qc prop_identifiable_good_probs_in_range;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "CIs bracket estimates" `Slow
+            test_confidence_brackets_point;
+          Alcotest.test_case "narrower with more data" `Slow
+            test_confidence_narrows_with_t;
+          Alcotest.test_case "subset CI" `Slow test_confidence_subset_ci;
+          Alcotest.test_case "validation" `Quick test_confidence_validation;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "edge cases" `Quick test_metrics_edge_cases;
+          Alcotest.test_case "mean absolute error" `Quick test_metrics_mae;
+          qc prop_metrics_bounds;
+        ] );
+    ]

@@ -1,0 +1,532 @@
+(* Tests for the dense linear-algebra substrate, including the paper's
+   Algorithm 2 (incremental null-space update). *)
+
+module Matrix = Tomo_linalg.Matrix
+module Gauss = Tomo_linalg.Gauss
+module Qr = Tomo_linalg.Qr
+module Lstsq = Tomo_linalg.Lstsq
+module Nullspace = Tomo_linalg.Nullspace
+module Rng = Tomo_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-7))
+
+let random_matrix rng r c =
+  Matrix.init r c (fun _ _ -> Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+
+(* A random 0/1 matrix with a prescribed rank bound, built as a product of
+   0/1-ish factors; mimics tomography incidence structure. *)
+let random_low_rank rng r c rank =
+  let a = random_matrix rng r rank and b = random_matrix rng rank c in
+  Matrix.mul a b
+
+(* ------------------------------------------------------------------ *)
+(* Matrix                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_matrix_basic () =
+  let m = Matrix.init 2 3 (fun i j -> float_of_int ((i * 3) + j)) in
+  check_int "rows" 2 (Matrix.rows m);
+  check_int "cols" 3 (Matrix.cols m);
+  checkf "get" 5.0 (Matrix.get m 1 2);
+  Matrix.set m 1 2 9.0;
+  checkf "set" 9.0 (Matrix.get m 1 2);
+  Alcotest.check_raises "bounds"
+    (Invalid_argument "Matrix: index out of range") (fun () ->
+      ignore (Matrix.get m 2 0))
+
+let test_matrix_mul () =
+  let a = Matrix.of_rows [| [| 1.; 2. |]; [| 3.; 4. |] |] in
+  let b = Matrix.of_rows [| [| 5.; 6. |]; [| 7.; 8. |] |] in
+  let c = Matrix.mul a b in
+  checkf "c00" 19.0 (Matrix.get c 0 0);
+  checkf "c01" 22.0 (Matrix.get c 0 1);
+  checkf "c10" 43.0 (Matrix.get c 1 0);
+  checkf "c11" 50.0 (Matrix.get c 1 1)
+
+let test_matrix_vec () =
+  let a = Matrix.of_rows [| [| 1.; 2.; 3. |]; [| 0.; 1.; 0. |] |] in
+  let v = Matrix.mul_vec a [| 1.; 1.; 1. |] in
+  checkf "mul_vec 0" 6.0 v.(0);
+  checkf "mul_vec 1" 1.0 v.(1);
+  let w = Matrix.vec_mul [| 1.; 2. |] a in
+  checkf "vec_mul 0" 1.0 w.(0);
+  checkf "vec_mul 1" 4.0 w.(1);
+  checkf "vec_mul 2" 3.0 w.(2)
+
+let test_matrix_transpose () =
+  let a = Matrix.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  let t = Matrix.transpose a in
+  check_int "t rows" 3 (Matrix.rows t);
+  checkf "t(2,1)" 6.0 (Matrix.get t 2 1)
+
+let test_matrix_drop_swap () =
+  let a = Matrix.of_rows [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |] in
+  Matrix.swap_cols a 0 2;
+  checkf "swapped" 3.0 (Matrix.get a 0 0);
+  let d = Matrix.drop_col a 1 in
+  check_int "dropped cols" 2 (Matrix.cols d);
+  checkf "drop keeps order" 1.0 (Matrix.get d 0 1)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~name:"transpose is an involution" ~count:50
+    QCheck.(pair (int_range 1 12) (int_range 1 12))
+    (fun (r, c) ->
+      let rng = Rng.create (r + (100 * c)) in
+      let m = random_matrix rng r c in
+      Matrix.equal_approx ~tol:0.0 m (Matrix.transpose (Matrix.transpose m)))
+
+let prop_mul_identity =
+  QCheck.Test.make ~name:"A·I = A and I·A = A" ~count:50
+    QCheck.(pair (int_range 1 10) (int_range 1 10))
+    (fun (r, c) ->
+      let rng = Rng.create (r + (57 * c)) in
+      let m = random_matrix rng r c in
+      Matrix.equal_approx ~tol:1e-12 m (Matrix.mul m (Matrix.identity c))
+      && Matrix.equal_approx ~tol:1e-12 m (Matrix.mul (Matrix.identity r) m))
+
+(* ------------------------------------------------------------------ *)
+(* Gauss                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_gauss_rank () =
+  let full = Matrix.of_rows [| [| 1.; 0. |]; [| 0.; 1. |] |] in
+  check_int "identity rank" 2 (Gauss.rank full);
+  let deficient =
+    Matrix.of_rows [| [| 1.; 2. |]; [| 2.; 4. |]; [| 3.; 6. |] |]
+  in
+  check_int "rank-1 matrix" 1 (Gauss.rank deficient)
+
+let test_gauss_solve () =
+  let a = Matrix.of_rows [| [| 2.; 1. |]; [| 1.; 3. |] |] in
+  let x = Gauss.solve a [| 5.; 10. |] in
+  checkf "x0" 1.0 x.(0);
+  checkf "x1" 3.0 x.(1)
+
+let test_gauss_singular () =
+  let a = Matrix.of_rows [| [| 1.; 1. |]; [| 2.; 2. |] |] in
+  Alcotest.check_raises "singular" (Failure "Gauss.solve: singular matrix")
+    (fun () -> ignore (Gauss.solve a [| 1.; 2. |]))
+
+let test_gauss_inverse () =
+  let a = Matrix.of_rows [| [| 4.; 7. |]; [| 2.; 6. |] |] in
+  let inv = Gauss.inverse a in
+  let prod = Matrix.mul a inv in
+  check_bool "A·A⁻¹ = I" true
+    (Matrix.equal_approx ~tol:1e-9 prod (Matrix.identity 2))
+
+let prop_gauss_solve_random =
+  QCheck.Test.make ~name:"Gauss.solve solves random well-conditioned systems"
+    ~count:100 (QCheck.int_range 1 15) (fun n ->
+      let rng = Rng.create (n * 31) in
+      (* Diagonally dominant => nonsingular and well conditioned. *)
+      let a =
+        Matrix.init n n (fun i j ->
+            if i = j then 10.0 +. Rng.float rng 1.0
+            else Rng.uniform rng ~lo:(-1.0) ~hi:1.0)
+      in
+      let x_true = Array.init n (fun _ -> Rng.uniform rng ~lo:(-5.) ~hi:5.) in
+      let b = Matrix.mul_vec a x_true in
+      let x = Gauss.solve a b in
+      Array.for_all2 (fun u v -> abs_float (u -. v) < 1e-6) x x_true)
+
+let prop_rank_product_bound =
+  QCheck.Test.make ~name:"rank(AB) <= min(rank A, rank B) via low-rank build"
+    ~count:50
+    QCheck.(triple (int_range 2 10) (int_range 2 10) (int_range 1 4))
+    (fun (r, c, k) ->
+      let rng = Rng.create ((r * 1000) + (c * 10) + k) in
+      let m = random_low_rank rng r c (min k (min r c)) in
+      Gauss.rank m <= min k (min r c))
+
+(* ------------------------------------------------------------------ *)
+(* QR / least squares                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_qr_reconstruct () =
+  let rng = Rng.create 17 in
+  let a = random_matrix rng 6 4 in
+  let t = Qr.decompose a in
+  check_int "full rank" 4 t.Qr.rank;
+  let q = Qr.q t and r = Qr.r t in
+  (* Q·R should equal A with its columns permuted by perm. *)
+  let ap =
+    Matrix.init 6 4 (fun i j -> Matrix.get a i t.Qr.perm.(j))
+  in
+  check_bool "QR = A·P" true
+    (Matrix.equal_approx ~tol:1e-8 ap (Matrix.mul q r))
+
+let test_qr_orthogonal () =
+  let rng = Rng.create 23 in
+  let a = random_matrix rng 5 5 in
+  let t = Qr.decompose a in
+  let q = Qr.q t in
+  let qtq = Matrix.mul (Matrix.transpose q) q in
+  check_bool "QᵀQ = I" true
+    (Matrix.equal_approx ~tol:1e-8 qtq (Matrix.identity 5))
+
+let test_lstsq_exact () =
+  let a = Matrix.of_rows [| [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |] in
+  let b = [| 1.; 2.; 3. |] in
+  let { Lstsq.solution; rank; residual_norm } = Lstsq.solve a b in
+  check_int "rank" 2 rank;
+  checkf "x0" 1.0 solution.(0);
+  checkf "x1" 2.0 solution.(1);
+  checkf "consistent system residual" 0.0 residual_norm
+
+let test_lstsq_overdetermined () =
+  (* Fit y = c over observations 1, 2, 3: least squares mean. *)
+  let a = Matrix.of_rows [| [| 1. |]; [| 1. |]; [| 1. |] |] in
+  let { Lstsq.solution; _ } = Lstsq.solve a [| 1.; 2.; 3. |] in
+  checkf "mean fit" 2.0 solution.(0)
+
+let test_lstsq_rank_deficient () =
+  (* x0 + x1 = 2 twice: any (a, 2-a) minimizes; basic solution picks one
+     and must reproduce the rhs. *)
+  let a = Matrix.of_rows [| [| 1.; 1. |]; [| 1.; 1. |] |] in
+  let { Lstsq.solution; rank; residual_norm } = Lstsq.solve a [| 2.; 2. |] in
+  check_int "rank 1" 1 rank;
+  checkf "residual 0" 0.0 residual_norm;
+  checkf "sum constraint" 2.0 (solution.(0) +. solution.(1))
+
+let prop_lstsq_residual_orthogonal =
+  QCheck.Test.make
+    ~name:"least-squares residual orthogonal to column space" ~count:60
+    QCheck.(pair (int_range 2 12) (int_range 1 8))
+    (fun (m, n) ->
+      let n = min n m in
+      let rng = Rng.create ((m * 131) + n) in
+      let a = random_matrix rng m n in
+      let b = Array.init m (fun _ -> Rng.uniform rng ~lo:(-2.) ~hi:2.) in
+      let { Lstsq.solution; _ } = Lstsq.solve a b in
+      let r = Matrix.mul_vec a solution in
+      let resid = Array.mapi (fun i ri -> ri -. b.(i)) r in
+      let atr = Matrix.vec_mul resid a in
+      Array.for_all (fun x -> abs_float x < 1e-6) atr)
+
+(* ------------------------------------------------------------------ *)
+(* Null space + Algorithm 2                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_nullspace_basic () =
+  (* x + y + z = 0 has a 2-dimensional null space. *)
+  let m = Matrix.of_rows [| [| 1.; 1.; 1. |] |] in
+  let n = Nullspace.basis m in
+  check_int "nullity" 2 (Matrix.cols n);
+  let prod = Matrix.mul m n in
+  checkf "R·N = 0" 0.0 (Matrix.max_abs prod)
+
+let test_nullspace_trivial () =
+  let m = Matrix.identity 3 in
+  check_int "identity nullity" 0 (Nullspace.nullity m)
+
+let test_in_row_space () =
+  (* System x0 + x1 = b1, x0 = b2 identifies both x0 and x1; the system
+     x0 + x1 alone identifies neither. *)
+  let full = Matrix.of_rows [| [| 1.; 1. |]; [| 1.; 0. |] |] in
+  let nfull = Nullspace.basis full in
+  check_bool "x0 identifiable" true (Nullspace.in_row_space nfull 0);
+  check_bool "x1 identifiable" true (Nullspace.in_row_space nfull 1);
+  let partial = Matrix.of_rows [| [| 1.; 1. |] |] in
+  let np = Nullspace.basis partial in
+  check_bool "x0 not identifiable" false (Nullspace.in_row_space np 0);
+  check_bool "x1 not identifiable" false (Nullspace.in_row_space np 1)
+
+let test_reduces_rank () =
+  let m = Matrix.of_rows [| [| 1.; 1.; 0. |] |] in
+  let n = Nullspace.basis m in
+  check_bool "dependent row does not reduce" false
+    (Nullspace.reduces_rank n [| 2.; 2.; 0. |]);
+  check_bool "independent row reduces" true
+    (Nullspace.reduces_rank n [| 0.; 0.; 1. |])
+
+let test_update_matches_recompute () =
+  let m = Matrix.of_rows [| [| 1.; 1.; 0.; 0. |]; [| 0.; 0.; 1.; 1. |] |] in
+  let n = Nullspace.basis m in
+  check_int "initial nullity" 2 (Matrix.cols n);
+  let r = [| 1.; 0.; 1.; 0. |] in
+  let n' = Nullspace.update n r in
+  check_int "nullity drops by one" 1 (Matrix.cols n');
+  (* The updated basis must be annihilated by all three rows. *)
+  let m3 =
+    Matrix.of_rows
+      [| [| 1.; 1.; 0.; 0. |]; [| 0.; 0.; 1.; 1. |]; [| 1.; 0.; 1.; 0. |] |]
+  in
+  checkf "R'·N' = 0" 0.0 (Matrix.max_abs (Matrix.mul m3 n'));
+  (* And have the same span dimension as a from-scratch basis. *)
+  check_int "same nullity as recompute" (Nullspace.nullity m3)
+    (Matrix.cols n')
+
+let test_update_dependent_row_noop () =
+  let m = Matrix.of_rows [| [| 1.; 1.; 0. |]; [| 0.; 1.; 1. |] |] in
+  let n = Nullspace.basis m in
+  let sum_row = [| 1.; 2.; 1. |] in
+  let n' = Nullspace.update n sum_row in
+  check_int "dependent row keeps nullity" (Matrix.cols n) (Matrix.cols n')
+
+let prop_update_equals_recompute =
+  QCheck.Test.make
+    ~name:"Algorithm 2 update ≡ from-scratch basis (nullity & annihilation)"
+    ~count:80
+    QCheck.(triple (int_range 1 6) (int_range 2 8) (int_range 0 1000))
+    (fun (r, c, seed) ->
+      let rng = Rng.create seed in
+      (* Random 0/1 matrix to mimic incidence rows. *)
+      let m =
+        Matrix.init r c (fun _ _ -> if Rng.bool rng ~p:0.4 then 1.0 else 0.0)
+      in
+      let extra =
+        Array.init c (fun _ -> if Rng.bool rng ~p:0.4 then 1.0 else 0.0)
+      in
+      let n = Nullspace.basis m in
+      let n' = Nullspace.update n extra in
+      let stacked =
+        Matrix.init (r + 1) c (fun i j ->
+            if i < r then Matrix.get m i j else extra.(j))
+      in
+      let expect = Nullspace.nullity stacked in
+      Matrix.cols n' = expect
+      && (Matrix.cols n' = 0
+         || Matrix.max_abs (Matrix.mul stacked n') < 1e-7))
+
+let prop_rank_nullity =
+  QCheck.Test.make ~name:"rank + nullity = columns" ~count:80
+    QCheck.(triple (int_range 1 10) (int_range 1 10) (int_range 0 1000))
+    (fun (r, c, seed) ->
+      let rng = Rng.create (seed + 424242) in
+      let m =
+        Matrix.init r c (fun _ _ -> if Rng.bool rng ~p:0.35 then 1.0 else 0.0)
+      in
+      Gauss.rank m + Nullspace.nullity m = c)
+
+let prop_basis_annihilated =
+  QCheck.Test.make ~name:"R · basis(R) = 0" ~count:80
+    QCheck.(triple (int_range 1 8) (int_range 1 10) (int_range 0 1000))
+    (fun (r, c, seed) ->
+      let rng = Rng.create (seed + 777) in
+      let m = random_matrix rng r c in
+      let n = Nullspace.basis m in
+      Matrix.cols n = 0 || Matrix.max_abs (Matrix.mul m n) < 1e-7)
+
+(* ------------------------------------------------------------------ *)
+(* SVD                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Svd = Tomo_linalg.Svd
+
+let test_svd_reconstruct () =
+  let rng = Rng.create 31 in
+  let a = random_matrix rng 7 4 in
+  let t = Svd.decompose a in
+  check_bool "U·Σ·Vᵀ = A" true
+    (Matrix.equal_approx ~tol:1e-8 a (Svd.reconstruct t));
+  (* Descending singular values. *)
+  let s = t.Svd.sigma in
+  for i = 0 to Array.length s - 2 do
+    if s.(i) < s.(i + 1) then Alcotest.fail "sigma not descending"
+  done
+
+let test_svd_orthogonality () =
+  let rng = Rng.create 37 in
+  let a = random_matrix rng 6 6 in
+  let t = Svd.decompose a in
+  let vtv = Matrix.mul (Matrix.transpose t.Svd.v) t.Svd.v in
+  check_bool "VᵀV = I" true
+    (Matrix.equal_approx ~tol:1e-8 vtv (Matrix.identity 6));
+  let utu = Matrix.mul (Matrix.transpose t.Svd.u) t.Svd.u in
+  check_bool "UᵀU = I (full rank)" true
+    (Matrix.equal_approx ~tol:1e-8 utu (Matrix.identity 6))
+
+let test_svd_rank_and_nullspace () =
+  (* Rank-2 matrix built from two outer products. *)
+  let rng = Rng.create 41 in
+  let a = random_low_rank rng 6 5 2 in
+  let t = Svd.decompose a in
+  check_int "rank 2" 2 (Svd.rank t);
+  let nsp = Svd.nullspace_basis t in
+  check_int "nullity 3" 3 (Matrix.cols nsp);
+  checkf "A·N = 0" 0.0 (Matrix.max_abs (Matrix.mul a nsp))
+
+let test_svd_rejects_wide () =
+  Alcotest.check_raises "wide matrices rejected"
+    (Invalid_argument "Svd.decompose: need rows >= cols") (fun () ->
+      ignore (Svd.decompose (Matrix.make 2 5 1.0)))
+
+let test_svd_known_values () =
+  (* diag(3, 2) has singular values 3 and 2; condition 1.5. *)
+  let a = Matrix.of_rows [| [| 3.; 0. |]; [| 0.; 2. |] |] in
+  let t = Svd.decompose a in
+  checkf "sigma0" 3.0 t.Svd.sigma.(0);
+  checkf "sigma1" 2.0 t.Svd.sigma.(1);
+  checkf "condition" 1.5 (Svd.condition t)
+
+let prop_svd_agrees_with_gauss_rank =
+  QCheck.Test.make ~name:"SVD rank = Gaussian-elimination rank" ~count:60
+    QCheck.(triple (int_range 1 8) (int_range 1 8) (int_range 0 5_000))
+    (fun (m, n, seed) ->
+      let m = max m n in
+      (* ensure rows >= cols *)
+      let rng = Rng.create (seed + 9_000) in
+      let a =
+        Matrix.init m n (fun _ _ -> if Rng.bool rng ~p:0.4 then 1.0 else 0.0)
+      in
+      Svd.rank (Svd.decompose a) = Gauss.rank a)
+
+let prop_svd_nullspace_annihilated =
+  QCheck.Test.make ~name:"A · svd-nullspace = 0" ~count:60
+    QCheck.(pair (int_range 2 8) (int_range 0 5_000))
+    (fun (n, seed) ->
+      let rng = Rng.create (seed + 11_000) in
+      let a = random_low_rank rng (n + 2) n (max 1 (n / 2)) in
+      let t = Svd.decompose a in
+      let nsp = Svd.nullspace_basis t in
+      Matrix.cols nsp = 0 || Matrix.max_abs (Matrix.mul a nsp) < 1e-7)
+
+(* ------------------------------------------------------------------ *)
+(* CGLS                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Cgls = Tomo_linalg.Cgls
+
+let test_cgls_exact () =
+  (* x0 + x1 = 3; x0 = 1 — consistent square system over incidence
+     rows. *)
+  let x =
+    Cgls.solve ~n_vars:2 ~rows:[| [| 0; 1 |]; [| 0 |] |] ~b:[| 3.; 1. |] ()
+  in
+  checkf "x0" 1.0 x.(0);
+  checkf "x1" 2.0 x.(1)
+
+let test_cgls_min_norm () =
+  (* Single equation x0 + x1 = 2: minimizers form a line; CGLS from 0
+     returns the minimum-norm point (1,1). *)
+  let x = Cgls.solve ~n_vars:2 ~rows:[| [| 0; 1 |] |] ~b:[| 2.0 |] () in
+  checkf "x0 = 1" 1.0 x.(0);
+  checkf "x1 = 1" 1.0 x.(1)
+
+let test_cgls_overdetermined_mean () =
+  (* Three copies of x = b_i: least squares = mean. *)
+  let x =
+    Cgls.solve ~n_vars:1
+      ~rows:[| [| 0 |]; [| 0 |]; [| 0 |] |]
+      ~b:[| 1.0; 2.0; 6.0 |] ()
+  in
+  checkf "mean" 3.0 x.(0)
+
+let test_cgls_validation () =
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Cgls.solve: variable index out of range") (fun () ->
+      ignore (Cgls.solve ~n_vars:1 ~rows:[| [| 1 |] |] ~b:[| 1.0 |] ()));
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument "Cgls.solve: size mismatch") (fun () ->
+      ignore (Cgls.solve ~n_vars:1 ~rows:[| [| 0 |] |] ~b:[||] ()))
+
+let prop_cgls_matches_qr_least_squares =
+  QCheck.Test.make ~name:"CGLS matches QR least squares on incidence rows"
+    ~count:60
+    QCheck.(triple (int_range 1 10) (int_range 1 8) (int_range 0 5_000))
+    (fun (m, n, seed) ->
+      let rng = Rng.create (seed + 13_000) in
+      let rows =
+        Array.init m (fun _ ->
+            let r = ref [] in
+            for j = n - 1 downto 0 do
+              if Rng.bool rng ~p:0.5 then r := j :: !r
+            done;
+            Array.of_list !r)
+      in
+      let b = Array.init m (fun _ -> Rng.uniform rng ~lo:(-2.) ~hi:2.) in
+      let x = Cgls.solve ~n_vars:n ~rows ~b () in
+      let a =
+        Matrix.init m n (fun i j ->
+            if Array.exists (fun k -> k = j) rows.(i) then 1.0 else 0.0)
+      in
+      let { Lstsq.solution = y; _ } = Lstsq.solve a b in
+      (* Both minimize ‖Ax − b‖: residuals must agree even when the
+         minimizers differ (rank-deficient systems). *)
+      let resid v =
+        let r = Matrix.mul_vec a v in
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun i ri ->
+            let d = ri -. b.(i) in
+            acc := !acc +. (d *. d))
+          r;
+        !acc
+      in
+      abs_float (resid x -. resid y) < 1e-6)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "linalg"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "basics" `Quick test_matrix_basic;
+          Alcotest.test_case "multiplication" `Quick test_matrix_mul;
+          Alcotest.test_case "matrix-vector" `Quick test_matrix_vec;
+          Alcotest.test_case "transpose" `Quick test_matrix_transpose;
+          Alcotest.test_case "swap/drop columns" `Quick
+            test_matrix_drop_swap;
+          qc prop_transpose_involution;
+          qc prop_mul_identity;
+        ] );
+      ( "gauss",
+        [
+          Alcotest.test_case "rank" `Quick test_gauss_rank;
+          Alcotest.test_case "solve" `Quick test_gauss_solve;
+          Alcotest.test_case "singular detection" `Quick test_gauss_singular;
+          Alcotest.test_case "inverse" `Quick test_gauss_inverse;
+          qc prop_gauss_solve_random;
+          qc prop_rank_product_bound;
+        ] );
+      ( "qr",
+        [
+          Alcotest.test_case "reconstruction" `Quick test_qr_reconstruct;
+          Alcotest.test_case "orthogonality" `Quick test_qr_orthogonal;
+          Alcotest.test_case "lstsq consistent" `Quick test_lstsq_exact;
+          Alcotest.test_case "lstsq overdetermined" `Quick
+            test_lstsq_overdetermined;
+          Alcotest.test_case "lstsq rank-deficient" `Quick
+            test_lstsq_rank_deficient;
+          qc prop_lstsq_residual_orthogonal;
+        ] );
+      ( "nullspace",
+        [
+          Alcotest.test_case "basic basis" `Quick test_nullspace_basic;
+          Alcotest.test_case "trivial null space" `Quick
+            test_nullspace_trivial;
+          Alcotest.test_case "identifiability test" `Quick test_in_row_space;
+          Alcotest.test_case "rank-reduction test" `Quick test_reduces_rank;
+          Alcotest.test_case "Algorithm 2 update" `Quick
+            test_update_matches_recompute;
+          Alcotest.test_case "Algorithm 2 dependent row" `Quick
+            test_update_dependent_row_noop;
+          qc prop_update_equals_recompute;
+          qc prop_rank_nullity;
+          qc prop_basis_annihilated;
+        ] );
+      ( "svd",
+        [
+          Alcotest.test_case "reconstruction" `Quick test_svd_reconstruct;
+          Alcotest.test_case "orthogonality" `Quick test_svd_orthogonality;
+          Alcotest.test_case "rank and null space" `Quick
+            test_svd_rank_and_nullspace;
+          Alcotest.test_case "wide matrices rejected" `Quick
+            test_svd_rejects_wide;
+          Alcotest.test_case "known singular values" `Quick
+            test_svd_known_values;
+          qc prop_svd_agrees_with_gauss_rank;
+          qc prop_svd_nullspace_annihilated;
+        ] );
+      ( "cgls",
+        [
+          Alcotest.test_case "consistent system" `Quick test_cgls_exact;
+          Alcotest.test_case "minimum norm" `Quick test_cgls_min_norm;
+          Alcotest.test_case "overdetermined mean" `Quick
+            test_cgls_overdetermined_mean;
+          Alcotest.test_case "validation" `Quick test_cgls_validation;
+          qc prop_cgls_matches_qr_least_squares;
+        ] );
+    ]

@@ -1,0 +1,418 @@
+(* Tests for the congestion/loss simulator: factor model exactness,
+   scenario selection, probing, and full runs. *)
+
+module Overlay = Tomo_topology.Overlay
+module Brite = Tomo_topology.Brite
+module Factor_model = Tomo_netsim.Factor_model
+module Scenario = Tomo_netsim.Scenario
+module Probe = Tomo_netsim.Probe
+module Run = Tomo_netsim.Run
+module Bitset = Tomo_util.Bitset
+module Rng = Tomo_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+(* A hand-built overlay with a known correlation structure:
+   AS 1 owns links 0 (factor a), 1 (factors a, b) — correlated via a;
+   AS 2 owns link 2 (factor c).
+   Paths: p0 = [0], p1 = [0; 2], p2 = [1; 2]. *)
+let tiny_overlay () =
+  let b = Overlay.Builder.create ~n_ases:3 ~source_as:0 in
+  let fa = Overlay.Builder.factor b ~owner:1 ~key:"a" in
+  let fb = Overlay.Builder.factor b ~owner:1 ~key:"b" in
+  let fc = Overlay.Builder.factor b ~owner:2 ~key:"c" in
+  let l0 =
+    Overlay.Builder.link b ~owner:1 ~key:"l0" ~kind:Overlay.Inter
+      ~factors:(fun () -> [| fa |])
+  in
+  let l1 =
+    Overlay.Builder.link b ~owner:1 ~key:"l1" ~kind:Overlay.Intra
+      ~factors:(fun () -> [| fa; fb |])
+  in
+  let l2 =
+    Overlay.Builder.link b ~owner:2 ~key:"l2" ~kind:Overlay.Inter
+      ~factors:(fun () -> [| fc |])
+  in
+  ignore (Overlay.Builder.add_path b [| l0 |]);
+  ignore (Overlay.Builder.add_path b [| l0; l2 |]);
+  ignore (Overlay.Builder.add_path b [| l1; l2 |]);
+  Overlay.Builder.finalize b
+
+(* ------------------------------------------------------------------ *)
+(* Factor model                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_factor_marginals () =
+  let ov = tiny_overlay () in
+  (* qa = 0.2, qb = 0.5, qc = 0.3 (factor order = creation order). *)
+  let m = Factor_model.make ov [| 0.2; 0.5; 0.3 |] in
+  checkf 1e-9 "l0 marginal = qa" 0.2 (Factor_model.link_marginal m 0);
+  checkf 1e-9 "l1 marginal = 1-(1-qa)(1-qb)" 0.6
+    (Factor_model.link_marginal m 1);
+  checkf 1e-9 "l2 marginal = qc" 0.3 (Factor_model.link_marginal m 2)
+
+let test_factor_joint () =
+  let ov = tiny_overlay () in
+  let m = Factor_model.make ov [| 0.2; 0.5; 0.3 |] in
+  (* G({l0,l1}) = (1-qa)(1-qb): factor a counted once (correlation!). *)
+  checkf 1e-9 "good prob correlated pair" 0.4
+    (Factor_model.good_prob m [| 0; 1 |]);
+  (* Cross-AS independence: G({l0,l2}) = (1-qa)(1-qc). *)
+  checkf 1e-9 "good prob independent pair" (0.8 *. 0.7)
+    (Factor_model.good_prob m [| 0; 2 |]);
+  (* P(l0 and l1 both congested) = P(a) + P(¬a)·0 ... by
+     inclusion-exclusion: 1 - G0 - G1 + G01 = 1 - .8 - .4 + .4 = 0.2. *)
+  checkf 1e-9 "joint congestion of correlated pair" 0.2
+    (Factor_model.congestion_prob m [| 0; 1 |]);
+  (* Independent pair: product of marginals. *)
+  checkf 1e-9 "joint congestion independent pair" (0.2 *. 0.3)
+    (Factor_model.congestion_prob m [| 0; 2 |])
+
+let test_factor_empirical_match () =
+  (* The sampled joint distribution must match the closed form. *)
+  let ov = tiny_overlay () in
+  let m = Factor_model.make ov [| 0.2; 0.5; 0.3 |] in
+  let rng = Rng.create 99 in
+  let n = 50_000 in
+  let both_01 = ref 0 and l1_cong = ref 0 in
+  for _ = 1 to n do
+    let st = Factor_model.draw_interval m rng in
+    if Bitset.get st 0 && Bitset.get st 1 then incr both_01;
+    if Bitset.get st 1 then incr l1_cong
+  done;
+  let f_both = float_of_int !both_01 /. float_of_int n in
+  let f_l1 = float_of_int !l1_cong /. float_of_int n in
+  check_bool "joint freq matches closed form" true
+    (abs_float (f_both -. 0.2) < 0.01);
+  check_bool "marginal freq matches closed form" true
+    (abs_float (f_l1 -. 0.6) < 0.01)
+
+let test_factor_validation () =
+  let ov = tiny_overlay () in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument
+       "Factor_model.make: wrong number of factor probabilities")
+    (fun () -> ignore (Factor_model.make ov [| 0.1 |]));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Factor_model.make: probability outside [0,1]")
+    (fun () -> ignore (Factor_model.make ov [| 0.1; 1.5; 0.2 |]))
+
+let prop_inclusion_exclusion_consistent =
+  QCheck.Test.make
+    ~name:"congestion_prob of singleton equals link marginal" ~count:50
+    (QCheck.int_range 0 5_000) (fun seed ->
+      let ov = tiny_overlay () in
+      let rng = Rng.create seed in
+      let probs = Array.init 3 (fun _ -> Rng.float rng 1.0) in
+      let m = Factor_model.make ov probs in
+      List.for_all
+        (fun e ->
+          abs_float
+            (Factor_model.congestion_prob m [| e |]
+            -. Factor_model.link_marginal m e)
+          < 1e-12)
+        [ 0; 1; 2 ])
+
+let prop_congestion_le_min_marginal =
+  QCheck.Test.make
+    ~name:"P(all congested) <= min marginal (positive correlation model)"
+    ~count:50 (QCheck.int_range 0 5_000) (fun seed ->
+      let ov = tiny_overlay () in
+      let rng = Rng.create seed in
+      let probs = Array.init 3 (fun _ -> Rng.float rng 1.0) in
+      let m = Factor_model.make ov probs in
+      let p = Factor_model.congestion_prob m [| 0; 1; 2 |] in
+      List.for_all
+        (fun e -> p <= Factor_model.link_marginal m e +. 1e-12)
+        [ 0; 1; 2 ])
+
+(* ------------------------------------------------------------------ *)
+(* Scenario                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let small_brite =
+  { Brite.default with Brite.n_ases = 40; n_paths = 150; n_vantages = 2 }
+
+let test_scenario_random_frac () =
+  let ov = Brite.generate ~params:small_brite ~seed:2 () in
+  let rng = Rng.create 1 in
+  let s = Scenario.make ov ~kind:Scenario.Random ~frac:0.1 ~rng in
+  let n = Array.length (Scenario.congestible_links s) in
+  let target = float_of_int (Overlay.n_links ov) *. 0.1 in
+  check_bool "congestible ≈ 10% of links" true
+    (float_of_int n >= target *. 0.8 && float_of_int n <= target *. 1.8)
+
+let test_scenario_concentrated_edges () =
+  let ov = Brite.generate ~params:small_brite ~seed:2 () in
+  let rng = Rng.create 1 in
+  let s = Scenario.make ov ~kind:Scenario.Concentrated ~frac:0.1 ~rng in
+  let edges = Scenario.edge_links ov in
+  let is_edge = Array.make (Overlay.n_links ov) false in
+  Array.iter (fun e -> is_edge.(e) <- true) edges;
+  let cong = Scenario.congestible_links s in
+  check_bool "some congestible links" true (Array.length cong > 0);
+  Array.iter
+    (fun e -> check_bool "congestible link at edge" true is_edge.(e))
+    cong
+
+let test_scenario_no_independence_correlated () =
+  let ov = Brite.generate ~params:small_brite ~seed:2 () in
+  let rng = Rng.create 1 in
+  let s = Scenario.make ov ~kind:Scenario.No_independence ~frac:0.1 ~rng in
+  let sharing = Overlay.links_sharing_factor ov in
+  let cong = Scenario.congestible_links s in
+  check_bool "some congestible links" true (Array.length cong > 0);
+  (* Every congestible link shares some factor with another congestible
+     link — it has a potential correlation partner. *)
+  let congestible = Hashtbl.create 16 in
+  Array.iter (fun e -> Hashtbl.add congestible e ()) cong;
+  Array.iter
+    (fun e ->
+      let has_partner =
+        Array.exists
+          (fun f ->
+            Array.exists
+              (fun l -> l <> e && Hashtbl.mem congestible l)
+              sharing.(f))
+          ov.Overlay.links.(e).Overlay.factors
+      in
+      check_bool "congestible link has correlated partner" true has_partner)
+    cong
+
+let test_scenario_draw_probs () =
+  let ov = Brite.generate ~params:small_brite ~seed:2 () in
+  let rng = Rng.create 1 in
+  let s = Scenario.make ov ~kind:Scenario.Random ~frac:0.1 ~rng in
+  let probs = Scenario.draw_probs s (Rng.create 5) in
+  let cong = Scenario.congestible_links s in
+  let congestible = Hashtbl.create 16 in
+  Array.iter (fun e -> Hashtbl.add congestible e ()) cong;
+  (* Every congestible link is backed by a positive factor; no factor of
+     an entirely non-congestible link carries probability. *)
+  Array.iter
+    (fun e ->
+      check_bool "congestible link backed" true
+        (Array.exists
+           (fun f -> probs.(f) > 0.0)
+           ov.Overlay.links.(e).Overlay.factors))
+    cong;
+  let sharing = Overlay.links_sharing_factor ov in
+  Array.iteri
+    (fun f q ->
+      if q <> 0.0 then begin
+        if q < 0.01 || q > 0.99 then Alcotest.fail "active prob range";
+        check_bool "positive factor backs a congestible link" true
+          (Array.exists (Hashtbl.mem congestible) sharing.(f))
+      end)
+    probs
+
+let test_scenario_epochs_vary () =
+  (* Successive epochs may activate different factors for the same
+     congestible set — the non-stationarity mechanism. *)
+  let ov = Brite.generate ~params:small_brite ~seed:2 () in
+  let rng = Rng.create 1 in
+  let s = Scenario.make ov ~kind:Scenario.No_independence ~frac:0.1 ~rng in
+  let epoch_rng = Rng.create 9 in
+  let p1 = Scenario.draw_probs s epoch_rng in
+  let p2 = Scenario.draw_probs s epoch_rng in
+  check_bool "epochs differ" true (p1 <> p2)
+
+(* ------------------------------------------------------------------ *)
+(* Probe                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_loss_rates () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 500 do
+    let g = Probe.loss_rate rng ~congested:false in
+    if g < 0.0 || g >= 0.01 then Alcotest.fail "good loss out of range";
+    let c = Probe.loss_rate rng ~congested:true in
+    if c < 0.01 || c >= 1.0 then Alcotest.fail "congested loss out of range"
+  done
+
+let test_path_threshold () =
+  checkf 1e-12 "1 hop" 0.01 (Probe.path_threshold ~f:0.01 ~hops:1);
+  checkf 1e-9 "3 hops" (1.0 -. (0.99 ** 3.0))
+    (Probe.path_threshold ~f:0.01 ~hops:3);
+  checkf 1e-12 "0 hops" 0.0 (Probe.path_threshold ~f:0.01 ~hops:0)
+
+let test_binomial_moments () =
+  let rng = Rng.create 8 in
+  let n = 400 and p = 0.3 in
+  let total = ref 0 in
+  let reps = 3000 in
+  for _ = 1 to reps do
+    total := !total + Probe.binomial rng ~n ~p
+  done;
+  let mean = float_of_int !total /. float_of_int reps in
+  check_bool "binomial mean ≈ np" true (abs_float (mean -. 120.0) < 2.0);
+  check_int "p=0" 0 (Probe.binomial rng ~n:100 ~p:0.0);
+  check_int "p=1" 100 (Probe.binomial rng ~n:100 ~p:1.0)
+
+let test_measure_path_extremes () =
+  let rng = Rng.create 9 in
+  (* All links lossless: never congested. *)
+  let losses = [| 0.0; 0.0 |] in
+  check_bool "lossless path good" false
+    (Probe.measure_path rng ~losses ~links:[| 0; 1 |] ~n_probes:200 ~f:0.01);
+  (* One link drops half the traffic: always detected. *)
+  let losses = [| 0.5; 0.0 |] in
+  check_bool "heavy loss detected" true
+    (Probe.measure_path rng ~losses ~links:[| 0; 1 |] ~n_probes:200 ~f:0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let make_run ?(kind = Scenario.Random) ?(dynamics = Run.Stationary)
+    ?(measurement = Run.Ideal) ?(t = 200) ~seed () =
+  let ov = Brite.generate ~params:small_brite ~seed () in
+  let rng = Rng.create (seed * 7919) in
+  let scenario =
+    Scenario.make ov ~kind ~frac:0.1 ~rng:(Rng.split rng ~label:"scenario")
+  in
+  Run.run ~scenario ~dynamics ~measurement ~t_intervals:t
+    ~rng:(Rng.split rng ~label:"run")
+
+let test_run_shapes () =
+  let r = make_run ~seed:3 () in
+  check_int "intervals" 200 r.Run.t_intervals;
+  check_int "one status row per path"
+    (Overlay.n_paths r.Run.overlay)
+    (Array.length r.Run.path_good);
+  check_int "one link-state per interval" 200
+    (Array.length r.Run.link_congested);
+  check_int "stationary => one epoch" 1 (List.length r.Run.epochs)
+
+let test_run_separability_ideal () =
+  (* Under ideal measurement, path status must equal the AND of link
+     statuses — Separability holds exactly. *)
+  let r = make_run ~seed:5 () in
+  let ov = r.Run.overlay in
+  for t = 0 to r.Run.t_intervals - 1 do
+    Array.iter
+      (fun (p : Overlay.path) ->
+        let any_link_congested =
+          Array.exists (Bitset.get r.Run.link_congested.(t)) p.Overlay.links
+        in
+        let path_good = Bitset.get r.Run.path_good.(p.Overlay.id) t in
+        if path_good = any_link_congested then
+          Alcotest.fail "separability violated")
+      ov.Overlay.paths
+  done
+
+let test_run_marginal_matches_truth () =
+  (* Empirical congestion frequency of each link over a long run must be
+     close to the closed-form marginal. *)
+  let r = make_run ~seed:11 ~t:3000 () in
+  let n_links = Overlay.n_links r.Run.overlay in
+  let freq = Array.make n_links 0 in
+  Array.iter
+    (fun st -> Bitset.iter (fun e -> freq.(e) <- freq.(e) + 1) st)
+    r.Run.link_congested;
+  let worst = ref 0.0 in
+  for e = 0 to n_links - 1 do
+    let f = float_of_int freq.(e) /. 3000.0 in
+    let truth = Run.true_link_marginal r e in
+    worst := max !worst (abs_float (f -. truth))
+  done;
+  check_bool "worst |freq - marginal| < 0.05" true (!worst < 0.05)
+
+let test_run_nonstationary_epochs () =
+  let r = make_run ~dynamics:(Run.Redraw_every 50) ~seed:3 () in
+  check_int "200/50 epochs" 4 (List.length r.Run.epochs);
+  List.iter
+    (fun e -> check_int "epoch length" 50 e.Run.length)
+    r.Run.epochs;
+  (* Probabilities actually change across epochs. *)
+  match r.Run.epochs with
+  | e1 :: e2 :: _ ->
+      check_bool "epoch probs differ" true (e1.Run.probs <> e2.Run.probs)
+  | _ -> Alcotest.fail "expected epochs"
+
+let test_run_truth_time_average () =
+  let r = make_run ~dynamics:(Run.Redraw_every 100) ~seed:3 ~t:200 () in
+  match r.Run.epochs with
+  | [ e1; e2 ] ->
+      let m1 = Factor_model.make r.Run.overlay e1.Run.probs in
+      let m2 = Factor_model.make r.Run.overlay e2.Run.probs in
+      let e = 0 in
+      checkf 1e-9 "marginal is epoch average"
+        ((Factor_model.link_marginal m1 e +. Factor_model.link_marginal m2 e)
+        /. 2.0)
+        (Run.true_link_marginal r e)
+  | _ -> Alcotest.fail "expected 2 epochs"
+
+let test_run_probing_mostly_agrees () =
+  (* Probing with many probes should agree with ideal status in the vast
+     majority of (path, interval) cells. *)
+  let seed = 21 in
+  let ideal = make_run ~seed ~t:100 () in
+  let probed =
+    make_run ~seed ~t:100
+      ~measurement:(Run.Probes { per_path = 400; f = 0.01 })
+      ()
+  in
+  (* Same seed => same topology, same congestion states. *)
+  let agree = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun p row ->
+      for t = 0 to 99 do
+        incr total;
+        if Bitset.get row t = Bitset.get probed.Run.path_good.(p) t then
+          incr agree
+      done)
+    ideal.Run.path_good;
+  let frac = float_of_int !agree /. float_of_int !total in
+  check_bool "probing agrees with ideal > 90%" true (frac > 0.9)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "netsim"
+    [
+      ( "factor_model",
+        [
+          Alcotest.test_case "marginals" `Quick test_factor_marginals;
+          Alcotest.test_case "joint probabilities" `Quick test_factor_joint;
+          Alcotest.test_case "empirical match" `Slow
+            test_factor_empirical_match;
+          Alcotest.test_case "validation" `Quick test_factor_validation;
+          qc prop_inclusion_exclusion_consistent;
+          qc prop_congestion_le_min_marginal;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "random frac" `Quick test_scenario_random_frac;
+          Alcotest.test_case "concentrated at edges" `Quick
+            test_scenario_concentrated_edges;
+          Alcotest.test_case "no-independence correlated" `Quick
+            test_scenario_no_independence_correlated;
+          Alcotest.test_case "draw_probs ranges" `Quick
+            test_scenario_draw_probs;
+          Alcotest.test_case "epochs vary" `Quick test_scenario_epochs_vary;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "loss rate ranges" `Quick test_loss_rates;
+          Alcotest.test_case "path threshold" `Quick test_path_threshold;
+          Alcotest.test_case "binomial moments" `Quick test_binomial_moments;
+          Alcotest.test_case "measure extremes" `Quick
+            test_measure_path_extremes;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "shapes" `Quick test_run_shapes;
+          Alcotest.test_case "ideal separability" `Quick
+            test_run_separability_ideal;
+          Alcotest.test_case "marginals match truth" `Slow
+            test_run_marginal_matches_truth;
+          Alcotest.test_case "non-stationary epochs" `Quick
+            test_run_nonstationary_epochs;
+          Alcotest.test_case "truth time-averages" `Quick
+            test_run_truth_time_average;
+          Alcotest.test_case "probing agrees with ideal" `Slow
+            test_run_probing_mostly_agrees;
+        ] );
+    ]

@@ -1,0 +1,382 @@
+(* Tests for graphs, the two-level overlay builder, and the Brite/Sparse
+   topology generators. *)
+
+module Graph = Tomo_topology.Graph
+module Overlay = Tomo_topology.Overlay
+module Gen_common = Tomo_topology.Gen_common
+module Brite = Tomo_topology.Brite
+module Sparse_topo = Tomo_topology.Sparse_topo
+module Rng = Tomo_util.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_graph_basic () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  check_int "edges" 2 (Graph.n_edges g);
+  check_bool "has 0-1" true (Graph.has_edge g 0 1);
+  check_bool "symmetric" true (Graph.has_edge g 1 0);
+  check_bool "no 0-2" false (Graph.has_edge g 0 2);
+  check_int "degree 1" 2 (Graph.degree g 1);
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Graph.add_edge: self-loop") (fun () ->
+      Graph.add_edge g 2 2);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Graph.add_edge: duplicate edge") (fun () ->
+      Graph.add_edge g 0 1)
+
+let test_graph_shortest_path () =
+  let g = Graph.create 5 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  Graph.add_edge g 2 3;
+  Graph.add_edge g 0 4;
+  Graph.add_edge g 4 3;
+  (match Graph.shortest_path g ~src:0 ~dst:3 with
+  | Some p -> check_int "hop count" 3 (List.length p)
+  | None -> Alcotest.fail "path expected");
+  match Graph.shortest_path g ~src:0 ~dst:0 with
+  | Some [ 0 ] -> ()
+  | _ -> Alcotest.fail "trivial path expected"
+
+let test_graph_disconnected () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  check_bool "disconnected" false (Graph.connected g);
+  (match Graph.shortest_path g ~src:0 ~dst:2 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "no path expected");
+  Graph.add_edge g 1 2;
+  check_bool "connected" true (Graph.connected g)
+
+let prop_shortest_path_valid =
+  QCheck.Test.make ~name:"BFS returns a valid minimal path on random graphs"
+    ~count:60 (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + Rng.int rng 15 in
+      let g = Graph.create n in
+      (* Random connected-ish graph: spanning chain + random chords. *)
+      for u = 1 to n - 1 do
+        Graph.add_edge g u (Rng.int rng u)
+      done;
+      for _ = 1 to n / 2 do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v && not (Graph.has_edge g u v) then Graph.add_edge g u v
+      done;
+      let src = Rng.int rng n and dst = Rng.int rng n in
+      match Graph.shortest_path ~rng g ~src ~dst with
+      | None -> false (* connected by construction *)
+      | Some nodes ->
+          let rec consecutive = function
+            | x :: (y :: _ as rest) ->
+                Graph.has_edge g x y && consecutive rest
+            | _ -> true
+          in
+          List.hd nodes = src
+          && List.hd (List.rev nodes) = dst
+          && consecutive nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Overlay builder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let toy_builder () =
+  let b = Overlay.Builder.create ~n_ases:3 ~source_as:0 in
+  let f0 = Overlay.Builder.factor b ~owner:1 ~key:"f0" in
+  let f1 = Overlay.Builder.factor b ~owner:1 ~key:"f1" in
+  let l0 =
+    Overlay.Builder.link b ~owner:1 ~key:"a" ~kind:Overlay.Inter
+      ~factors:(fun () -> [| f0 |])
+  in
+  let l1 =
+    Overlay.Builder.link b ~owner:1 ~key:"b" ~kind:Overlay.Intra
+      ~factors:(fun () -> [| f0; f1 |])
+  in
+  (b, l0, l1)
+
+let test_builder_dedup () =
+  let b, l0, _ = toy_builder () in
+  let l0' =
+    Overlay.Builder.link b ~owner:1 ~key:"a" ~kind:Overlay.Inter
+      ~factors:(fun () -> failwith "must not re-create")
+  in
+  check_int "link get-or-create" l0 l0';
+  let f0 = Overlay.Builder.factor b ~owner:1 ~key:"f0" in
+  let f0' = Overlay.Builder.factor b ~owner:1 ~key:"f0" in
+  check_int "factor get-or-create" f0 f0'
+
+let test_builder_foreign_factor_rejected () =
+  let b, _, _ = toy_builder () in
+  let foreign = Overlay.Builder.factor b ~owner:2 ~key:"g" in
+  Alcotest.check_raises "cross-AS factor"
+    (Invalid_argument "Builder.link: factor owned by a different AS")
+    (fun () ->
+      ignore
+        (Overlay.Builder.link b ~owner:1 ~key:"evil" ~kind:Overlay.Inter
+           ~factors:(fun () -> [| foreign |])))
+
+let test_builder_path_dedup () =
+  let b, l0, l1 = toy_builder () in
+  (match Overlay.Builder.add_path b [| l0; l1 |] with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "first path gets id 0");
+  (match Overlay.Builder.add_path b [| l0; l1 |] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "duplicate path must be rejected");
+  match Overlay.Builder.add_path b [| l1; l0 |] with
+  | Some 1 -> ()
+  | _ -> Alcotest.fail "distinct order is a distinct path"
+
+let test_builder_prunes_unused () =
+  let b, l0, l1 = toy_builder () in
+  let _unused =
+    Overlay.Builder.link b ~owner:2 ~key:"dead" ~kind:Overlay.Inter
+      ~factors:(fun () -> [| Overlay.Builder.factor b ~owner:2 ~key:"df" |])
+  in
+  ignore (Overlay.Builder.add_path b [| l0; l1 |]);
+  let t = Overlay.Builder.finalize b in
+  check_int "only used links survive" 2 (Overlay.n_links t);
+  check_int "only used factors survive" 2 t.Overlay.n_factors;
+  Overlay.validate t
+
+let test_correlation_sets_partition () =
+  let b, l0, l1 = toy_builder () in
+  ignore (Overlay.Builder.add_path b [| l0; l1 |]);
+  let t = Overlay.Builder.finalize b in
+  let cs = Overlay.correlation_sets t in
+  check_int "one correlation set (single owning AS)" 1 (Array.length cs);
+  check_int "it holds both links" 2 (Array.length cs.(0))
+
+let test_links_sharing_factor () =
+  let b, l0, l1 = toy_builder () in
+  ignore (Overlay.Builder.add_path b [| l0; l1 |]);
+  let t = Overlay.Builder.finalize b in
+  let sharing = Overlay.links_sharing_factor t in
+  (* f0 backs both links, f1 only one. *)
+  let counts = Array.map Array.length sharing in
+  Array.sort compare counts;
+  Alcotest.(check (array int)) "factor sharing" [| 1; 2 |] counts
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let small_brite =
+  {
+    Brite.default with
+    Brite.n_ases = 40;
+    n_paths = 120;
+    n_vantages = 2;
+  }
+
+let small_sparse =
+  {
+    Sparse_topo.default with
+    Sparse_topo.n_ases = 120;
+    n_paths = 120;
+    n_vantages = 2;
+  }
+
+let test_brite_valid () =
+  let t = Brite.generate ~params:small_brite ~seed:7 () in
+  Overlay.validate t;
+  check_bool "paths collected" true (Overlay.n_paths t >= 100);
+  check_bool "links exist" true (Overlay.n_links t > 50)
+
+let test_brite_deterministic () =
+  let t1 = Brite.generate ~params:small_brite ~seed:3 () in
+  let t2 = Brite.generate ~params:small_brite ~seed:3 () in
+  check_int "same links" (Overlay.n_links t1) (Overlay.n_links t2);
+  check_int "same paths" (Overlay.n_paths t1) (Overlay.n_paths t2);
+  let t3 = Brite.generate ~params:small_brite ~seed:4 () in
+  check_bool "different seed differs" true
+    (Overlay.n_links t1 <> Overlay.n_links t3
+    || t1.Overlay.paths <> t3.Overlay.paths)
+
+let test_sparse_valid () =
+  let t = Sparse_topo.generate ~params:small_sparse ~seed:7 () in
+  Overlay.validate t;
+  check_bool "paths collected" true (Overlay.n_paths t >= 100)
+
+let coverage_counts (t : Overlay.t) =
+  let cover = Array.make (Overlay.n_links t) 0 in
+  Array.iter
+    (fun (p : Overlay.path) ->
+      Array.iter (fun l -> cover.(l) <- cover.(l) + 1) p.links)
+    t.Overlay.paths;
+  cover
+
+let test_sparse_is_sparser_than_brite () =
+  (* The defining contrast of the paper's §3.2: in the Sparse topology far
+     fewer links are traversed by multiple paths. We compare the fraction
+     of multi-covered links at equal path budget. *)
+  let tb = Brite.generate ~params:small_brite ~seed:11 () in
+  let ts = Sparse_topo.generate ~params:small_sparse ~seed:11 () in
+  let multi_frac t =
+    let cover = coverage_counts t in
+    let multi =
+      Array.fold_left (fun a c -> if c >= 2 then a + 1 else a) 0 cover
+    in
+    float_of_int multi /. float_of_int (Array.length cover)
+  in
+  check_bool "sparse has lower multi-coverage" true
+    (multi_frac ts < multi_frac tb)
+
+let test_paper_scale_defaults () =
+  (* §3.2: "a representative Sparse topology of about 2000 links and a
+     representative Brite topology of about 1000 links, each of them with
+     1500 paths". Generous tolerances: the generators are random. *)
+  let tb = Brite.generate ~seed:1 () in
+  let ts = Sparse_topo.generate ~seed:1 () in
+  check_bool "brite ~1000 links" true
+    (Overlay.n_links tb > 700 && Overlay.n_links tb < 1400);
+  check_bool "sparse ~2000 links" true
+    (Overlay.n_links ts > 1500 && Overlay.n_links ts < 2600);
+  check_int "brite 1500 paths" 1500 (Overlay.n_paths tb);
+  check_int "sparse 1500 paths" 1500 (Overlay.n_paths ts)
+
+let test_intra_links_share_factors () =
+  (* Correlations must exist: some factor backs >= 2 links. *)
+  let t = Brite.generate ~params:small_brite ~seed:5 () in
+  let sharing = Overlay.links_sharing_factor t in
+  let shared =
+    Array.fold_left (fun a ls -> if Array.length ls >= 2 then a + 1 else a) 0
+      sharing
+  in
+  check_bool "some shared factors" true (shared > 0)
+
+let prop_generated_overlays_valid =
+  QCheck.Test.make ~name:"generated overlays satisfy invariants" ~count:12
+    (QCheck.int_range 0 1_000) (fun seed ->
+      let tb =
+        Brite.generate
+          ~params:{ small_brite with Brite.n_paths = 60 }
+          ~seed ()
+      in
+      let ts =
+        Sparse_topo.generate
+          ~params:{ small_sparse with Sparse_topo.n_paths = 60 }
+          ~seed ()
+      in
+      Overlay.validate tb;
+      Overlay.validate ts;
+      true)
+
+let prop_internet_connected =
+  QCheck.Test.make ~name:"generated internets are connected" ~count:20
+    (QCheck.int_range 0 1_000) (fun seed ->
+      let rng = Rng.create seed in
+      let inet =
+        Gen_common.generate_internet rng ~n_ases:30 ~attach:2
+          ~extra_edge_frac:0.1 ~routers_lo:2 ~routers_hi:5
+      in
+      Graph.connected inet.Gen_common.as_graph
+      && Array.for_all Graph.connected inet.Gen_common.internals)
+
+(* ------------------------------------------------------------------ *)
+(* Overlay serialization                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Overlay_io = Tomo_topology.Overlay_io
+
+let overlays_equal (a : Overlay.t) (b : Overlay.t) =
+  a.Overlay.n_ases = b.Overlay.n_ases
+  && a.Overlay.source_as = b.Overlay.source_as
+  && a.Overlay.n_factors = b.Overlay.n_factors
+  && a.Overlay.factor_owner = b.Overlay.factor_owner
+  && a.Overlay.links = b.Overlay.links
+  && a.Overlay.paths = b.Overlay.paths
+
+let test_io_roundtrip () =
+  let t = Brite.generate ~params:small_brite ~seed:5 () in
+  let t' = Overlay_io.of_string (Overlay_io.to_string t) in
+  check_bool "roundtrip equality" true (overlays_equal t t')
+
+let test_io_file_roundtrip () =
+  let t = Sparse_topo.generate ~params:small_sparse ~seed:5 () in
+  let path = Filename.temp_file "tomo_overlay" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Overlay_io.save path t;
+      let t' = Overlay_io.load path in
+      check_bool "file roundtrip" true (overlays_equal t t'))
+
+let test_io_rejects_garbage () =
+  (try
+     ignore (Overlay_io.of_string "not an overlay");
+     Alcotest.fail "garbage accepted"
+   with Failure _ -> ());
+  try
+    ignore
+      (Overlay_io.of_string
+         "tomo-overlay v1\nases 2 source 0\nfactors 1\nfactor 0 \
+          0\nlinks 1\nlink 0 1 inter 0\npaths 1\npath 0 0\n");
+    (* link owned by AS 1 but factor owned by AS 0: validation must
+       reject it *)
+    Alcotest.fail "invalid overlay accepted"
+  with Failure _ -> ()
+
+let prop_io_roundtrip =
+  QCheck.Test.make ~name:"overlay serialization roundtrips" ~count:10
+    (QCheck.int_range 0 500) (fun seed ->
+      let t =
+        Brite.generate
+          ~params:{ small_brite with Brite.n_paths = 50 }
+          ~seed ()
+      in
+      overlays_equal t (Overlay_io.of_string (Overlay_io.to_string t)))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "topology"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "basics" `Quick test_graph_basic;
+          Alcotest.test_case "shortest path" `Quick test_graph_shortest_path;
+          Alcotest.test_case "disconnected" `Quick test_graph_disconnected;
+          qc prop_shortest_path_valid;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "link/factor dedup" `Quick test_builder_dedup;
+          Alcotest.test_case "cross-AS factors rejected" `Quick
+            test_builder_foreign_factor_rejected;
+          Alcotest.test_case "path dedup" `Quick test_builder_path_dedup;
+          Alcotest.test_case "pruning" `Quick test_builder_prunes_unused;
+          Alcotest.test_case "correlation sets" `Quick
+            test_correlation_sets_partition;
+          Alcotest.test_case "factor sharing map" `Quick
+            test_links_sharing_factor;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "brite valid" `Quick test_brite_valid;
+          Alcotest.test_case "brite deterministic" `Quick
+            test_brite_deterministic;
+          Alcotest.test_case "sparse valid" `Quick test_sparse_valid;
+          Alcotest.test_case "sparse sparser than brite" `Quick
+            test_sparse_is_sparser_than_brite;
+          Alcotest.test_case "paper-scale defaults" `Slow
+            test_paper_scale_defaults;
+          Alcotest.test_case "intra links share factors" `Quick
+            test_intra_links_share_factors;
+          qc prop_generated_overlays_valid;
+          qc prop_internet_connected;
+        ] );
+      ( "overlay_io",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick
+            test_io_rejects_garbage;
+          qc prop_io_roundtrip;
+        ] );
+    ]

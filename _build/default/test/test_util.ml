@@ -1,0 +1,321 @@
+(* Tests for the utility substrate: bit sets, RNG, statistics and
+   combinatorics. *)
+
+module Bitset = Tomo_util.Bitset
+module Rng = Tomo_util.Rng
+module Stats = Tomo_util.Stats
+module Combin = Tomo_util.Combin
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 130 in
+  check_int "empty count" 0 (Bitset.count b);
+  check_bool "is_empty" true (Bitset.is_empty b);
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 64;
+  Bitset.set b 129;
+  check_int "count after sets" 4 (Bitset.count b);
+  check_bool "get 63" true (Bitset.get b 63);
+  check_bool "get 62" false (Bitset.get b 62);
+  Bitset.clear b 63;
+  check_bool "cleared" false (Bitset.get b 63);
+  check_int "count after clear" 3 (Bitset.count b)
+
+let test_bitset_set_all () =
+  let b = Bitset.create 70 in
+  Bitset.set_all b;
+  check_int "all bits set" 70 (Bitset.count b);
+  Bitset.clear_all b;
+  check_int "all cleared" 0 (Bitset.count b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "set out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.set b 10);
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      ignore (Bitset.get b (-1)))
+
+let test_bitset_ops () =
+  let a = Bitset.of_list 100 [ 1; 5; 64; 99 ] in
+  let b = Bitset.of_list 100 [ 5; 64; 70 ] in
+  check_int "inter" 2 (Bitset.count (Bitset.inter a b));
+  check_int "union" 5 (Bitset.count (Bitset.union a b));
+  check_int "diff" 2 (Bitset.count (Bitset.diff a b));
+  check_int "count_inter" 2 (Bitset.count_inter a b);
+  check_bool "not disjoint" false (Bitset.disjoint a b);
+  check_bool "disjoint" true
+    (Bitset.disjoint a (Bitset.of_list 100 [ 0; 2 ]));
+  check_bool "subset yes" true
+    (Bitset.subset (Bitset.of_list 100 [ 5; 64 ]) a);
+  check_bool "subset no" false (Bitset.subset b a)
+
+let test_bitset_iteration () =
+  let a = Bitset.of_list 200 [ 3; 77; 150 ] in
+  Alcotest.(check (list int)) "to_list" [ 3; 77; 150 ] (Bitset.to_list a);
+  check_int "fold sum" 230 (Bitset.fold ( + ) 0 a)
+
+let bitset_list_gen =
+  QCheck.Gen.(list_size (int_bound 40) (int_bound 199))
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/to_list roundtrip" ~count:200
+    (QCheck.make bitset_list_gen) (fun l ->
+      let dedup = List.sort_uniq compare l in
+      Bitset.to_list (Bitset.of_list 200 l) = dedup)
+
+let prop_bitset_demorgan =
+  QCheck.Test.make ~name:"bitset |a∪b| = |a|+|b|-|a∩b|" ~count:200
+    QCheck.(pair (make bitset_list_gen) (make bitset_list_gen))
+    (fun (la, lb) ->
+      let a = Bitset.of_list 200 la and b = Bitset.of_list 200 lb in
+      Bitset.count (Bitset.union a b)
+      = Bitset.count a + Bitset.count b - Bitset.count_inter a b)
+
+let prop_bitset_diff_disjoint =
+  QCheck.Test.make ~name:"bitset diff is disjoint from subtrahend"
+    ~count:200
+    QCheck.(pair (make bitset_list_gen) (make bitset_list_gen))
+    (fun (la, lb) ->
+      let a = Bitset.of_list 200 la and b = Bitset.of_list 200 lb in
+      Bitset.disjoint (Bitset.diff a b) b)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_reproducible () =
+  let draw seed =
+    let r = Rng.create seed in
+    Array.init 10 (fun _ -> Rng.int r 1000)
+  in
+  Alcotest.(check (array int)) "same seed same stream" (draw 42) (draw 42);
+  check_bool "different seeds differ" true (draw 42 <> draw 43)
+
+let test_rng_split_independent () =
+  let r = Rng.create 7 in
+  let a = Rng.split r ~label:"a" and b = Rng.split r ~label:"b" in
+  let da = Array.init 8 (fun _ -> Rng.int a 1_000_000) in
+  let db = Array.init 8 (fun _ -> Rng.int b 1_000_000) in
+  check_bool "labels give distinct streams" true (da <> db);
+  let a' = Rng.split (Rng.create 7) ~label:"a" in
+  let da' = Array.init 8 (fun _ -> Rng.int a' 1_000_000) in
+  Alcotest.(check (array int)) "split is deterministic" da da'
+
+let test_rng_bool_bias () =
+  let r = Rng.create 11 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bool r ~p:0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. float_of_int n in
+  check_bool "p=0.3 within 3 sigma" true (abs_float (f -. 0.3) < 0.012)
+
+let test_rng_bool_extremes () =
+  let r = Rng.create 1 in
+  check_bool "p=0 never" false (Rng.bool r ~p:0.0);
+  check_bool "p=1 always" true (Rng.bool r ~p:1.0)
+
+let test_rng_sample () =
+  let r = Rng.create 3 in
+  let a = Array.init 20 (fun i -> i) in
+  let s = Rng.sample r a 8 in
+  check_int "sample size" 8 (Array.length s);
+  let sorted = Array.to_list s |> List.sort_uniq compare in
+  check_int "sample distinct" 8 (List.length sorted);
+  Alcotest.check_raises "oversample rejected"
+    (Invalid_argument "Rng.sample: bad sample size") (fun () ->
+      ignore (Rng.sample r a 21))
+
+let test_rng_pick_weighted () =
+  let r = Rng.create 5 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 10_000 do
+    let i = Rng.pick_weighted r [| 1.0; 0.0; 3.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  check_int "zero weight never chosen" 0 counts.(1);
+  check_bool "weights respected" true
+    (float_of_int counts.(2) /. float_of_int counts.(0) > 2.0)
+
+let test_rng_uniform_range () =
+  let r = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform r ~lo:0.01 ~hi:1.0 in
+    if x < 0.01 || x >= 1.0 then Alcotest.fail "uniform out of range"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" (5.0 /. 3.0) (Stats.variance xs);
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "min" 1.0 (Stats.minimum xs);
+  check_float "max" 4.0 (Stats.maximum xs)
+
+let test_stats_quantile () =
+  let xs = [| 10.0; 20.0; 30.0 |] in
+  check_float "q0" 10.0 (Stats.quantile xs 0.0);
+  check_float "q1" 30.0 (Stats.quantile xs 1.0);
+  check_float "q0.5" 20.0 (Stats.quantile xs 0.5);
+  check_float "q0.25 interpolates" 15.0 (Stats.quantile xs 0.25)
+
+let test_stats_mae () =
+  check_float "mae" 0.5
+    (Stats.mean_abs_error [| 0.0; 1.0 |] [| 0.5; 0.5 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Stats.mean_abs_error: length mismatch") (fun () ->
+      ignore (Stats.mean_abs_error [| 1.0 |] [| 1.0; 2.0 |]))
+
+let test_stats_cdf () =
+  let xs = [| 0.1; 0.2; 0.2; 0.9 |] in
+  let pts = Stats.cdf xs ~points:[| 0.0; 0.2; 1.0 |] in
+  match pts with
+  | [ (_, f0); (_, f1); (_, f2) ] ->
+      check_float "F(0)" 0.0 f0;
+      check_float "F(0.2)" 0.75 f1;
+      check_float "F(1)" 1.0 f2
+  | _ -> Alcotest.fail "wrong number of CDF points"
+
+let test_stats_histogram () =
+  let xs = [| 0.05; 0.15; 0.15; 0.95; -1.0; 2.0 |] in
+  let h = Stats.histogram xs ~bins:10 ~lo:0.0 ~hi:1.0 in
+  check_int "bin0 (incl. clamped low)" 2 h.(0);
+  check_int "bin1" 2 h.(1);
+  check_int "last bin (incl. clamped high)" 2 h.(9)
+
+let prop_stats_mean_bounds =
+  QCheck.Test.make ~name:"mean between min and max" ~count:200
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_bound_exclusive 100.))
+    (fun xs ->
+      let m = Stats.mean xs in
+      m >= Stats.minimum xs -. 1e-9 && m <= Stats.maximum xs +. 1e-9)
+
+let prop_stats_cdf_monotone =
+  QCheck.Test.make ~name:"cdf monotone, ends at 1" ~count:100
+    QCheck.(array_of_size Gen.(int_range 1 60) (float_bound_exclusive 1.0))
+    (fun xs ->
+      let curve = Stats.cdf_curve xs ~steps:20 ~max_x:1.0 in
+      let fs = List.map snd curve in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-12 && mono rest
+        | _ -> true
+      in
+      mono fs && abs_float (List.nth fs (List.length fs - 1) -. 1.0) < 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Combin                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_choose () =
+  check_int "C(5,2)" 10 (Combin.choose 5 2);
+  check_int "C(5,0)" 1 (Combin.choose 5 0);
+  check_int "C(5,5)" 1 (Combin.choose 5 5);
+  check_int "C(5,6)" 0 (Combin.choose 5 6);
+  check_int "C(5,-1)" 0 (Combin.choose 5 (-1));
+  check_int "C(40,20)" 137846528820 (Combin.choose 40 20)
+
+let test_combinations () =
+  let cs = Combin.combinations [| 1; 2; 3; 4 |] 2 in
+  check_int "C(4,2) count" 6 (List.length cs);
+  Alcotest.(check (list (list int)))
+    "lexicographic order"
+    [ [ 1; 2 ]; [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ]; [ 3; 4 ] ]
+    (List.map Array.to_list cs)
+
+let test_combinations_edge () =
+  check_int "k=0 yields the empty set" 1
+    (List.length (Combin.combinations [| 1; 2 |] 0));
+  check_int "k>n yields nothing" 0
+    (List.length (Combin.combinations [| 1; 2 |] 3))
+
+let test_subsets_by_size () =
+  let subsets = Combin.subsets_up_to [| 1; 2; 3 |] ~max_size:2 ~limit:100 in
+  check_int "3 singletons + 3 pairs" 6 (List.length subsets);
+  (* Increasing size: all singletons come before any pair. *)
+  let sizes = List.map Array.length subsets in
+  Alcotest.(check (list int)) "size order" [ 1; 1; 1; 2; 2; 2 ] sizes
+
+let test_subsets_limit () =
+  let subsets = Combin.subsets_up_to [| 1; 2; 3; 4 |] ~max_size:4 ~limit:5 in
+  check_int "limit respected" 5 (List.length subsets)
+
+let test_subsets_stop () =
+  let seen = ref 0 in
+  let n =
+    Combin.iter_subsets_by_size [| 1; 2; 3 |] ~max_size:3 ~limit:100
+      (fun _ ->
+        incr seen;
+        if !seen = 2 then `Stop else `Continue)
+  in
+  check_int "stopped after 2" 2 n
+
+let prop_combination_count =
+  QCheck.Test.make ~name:"combination count equals binomial" ~count:50
+    QCheck.(pair (int_range 0 9) (int_range 0 9))
+    (fun (n, k) ->
+      let xs = Array.init n (fun i -> i) in
+      List.length (Combin.combinations xs k) = Combin.choose n k)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "util"
+    [
+      ( "bitset",
+        [
+          Alcotest.test_case "basic set/get/clear" `Quick test_bitset_basic;
+          Alcotest.test_case "set_all/clear_all" `Quick test_bitset_set_all;
+          Alcotest.test_case "bounds checking" `Quick test_bitset_bounds;
+          Alcotest.test_case "set operations" `Quick test_bitset_ops;
+          Alcotest.test_case "iteration" `Quick test_bitset_iteration;
+          qc prop_bitset_roundtrip;
+          qc prop_bitset_demorgan;
+          qc prop_bitset_diff_disjoint;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "reproducible" `Quick test_rng_reproducible;
+          Alcotest.test_case "split independence" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "biased bool" `Quick test_rng_bool_bias;
+          Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+          Alcotest.test_case "sampling" `Quick test_rng_sample;
+          Alcotest.test_case "weighted pick" `Quick test_rng_pick_weighted;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/variance/median" `Quick test_stats_basic;
+          Alcotest.test_case "quantiles" `Quick test_stats_quantile;
+          Alcotest.test_case "mean abs error" `Quick test_stats_mae;
+          Alcotest.test_case "cdf" `Quick test_stats_cdf;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          qc prop_stats_mean_bounds;
+          qc prop_stats_cdf_monotone;
+        ] );
+      ( "combin",
+        [
+          Alcotest.test_case "binomial" `Quick test_choose;
+          Alcotest.test_case "combinations" `Quick test_combinations;
+          Alcotest.test_case "combination edges" `Quick
+            test_combinations_edge;
+          Alcotest.test_case "subsets by size" `Quick test_subsets_by_size;
+          Alcotest.test_case "subset limit" `Quick test_subsets_limit;
+          Alcotest.test_case "early stop" `Quick test_subsets_stop;
+          qc prop_combination_count;
+        ] );
+    ]
