@@ -41,7 +41,12 @@ let scale =
 
 let seed =
   match Sys.getenv_opt "TOMO_BENCH_SEED" with
-  | Some s -> int_of_string s
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> v
+      | None ->
+          failwith
+            (Printf.sprintf "TOMO_BENCH_SEED: expected an integer, got %S" s))
   | None -> 1
 
 let enabled name =
@@ -268,7 +273,25 @@ let run_benchmarks () =
       Format.fprintf ppf "%-45s%a%10.3f@." name pp_time ns r2)
     rows
 
+(* When TOMO_METRICS_OUT / TOMO_TRACE are set, print the counter
+   snapshot next to the Bechamel numbers (and write the JSON file via
+   the sink's exit hook), so BENCH_*.json trajectories carry the
+   structural counters — equations formed, null-space updates, CGLS
+   iterations — behind the timings.  With neither variable set the
+   instrumentation stays disabled and adds no measurable cost. *)
+let emit_metrics_snapshot () =
+  if Tomo_obs.Metrics.enabled () then begin
+    Format.fprintf ppf
+      "@.==================================================================@.";
+    Format.fprintf ppf "Metrics snapshot (pipeline counters)@.";
+    Format.fprintf ppf
+      "==================================================================@.";
+    Tomo_obs.Sink.pp_metrics_table ppf ()
+  end
+
 let () =
+  Tomo_obs.Sink.init ();
   if enabled "TOMO_BENCH_FIGURES" then reproduction_pass ();
   if enabled "TOMO_BENCH_PERF" then run_benchmarks ();
+  emit_metrics_snapshot ();
   Format.fprintf ppf "@.done.@."

@@ -52,6 +52,33 @@ let csv_arg =
           "Also write the figure's data as CSV files into $(docv) \
            (created if missing). Applies to fig3, fig4a-d and all.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record spans and metrics while the command runs, then print \
+           the span tree and a metrics table (same as TOMO_TRACE=1).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON snapshot of every counter, gauge and histogram \
+           to $(docv) (\"-\" for stdout; same as TOMO_METRICS_OUT).")
+
+(* Configure the observability sinks from the CLI flags (falling back to
+   the TOMO_TRACE / TOMO_METRICS_OUT environment) and flush them once
+   the command is done. *)
+let with_obs trace metrics_out f =
+  Tomo_obs.Sink.init
+    ?trace:(if trace then Some Tomo_obs.Sink.Trace_human else None)
+    ?metrics_out ();
+  f ();
+  Tomo_obs.Sink.flush ()
+
 let ensure_dir = function
   | None -> ()
   | Some dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
@@ -192,12 +219,20 @@ let all scale seed seeds csv =
   Tomo_experiments.Render.table2 ppf
 
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ scale_arg $ seed_arg $ seeds_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun scale seed seeds trace mout ->
+          with_obs trace mout (fun () -> f scale seed seeds))
+      $ scale_arg $ seed_arg $ seeds_arg $ trace_arg $ metrics_out_arg)
 
 let cmd_csv name doc f =
   Cmd.v
     (Cmd.info name ~doc)
-    Term.(const f $ scale_arg $ seed_arg $ seeds_arg $ csv_arg)
+    Term.(
+      const (fun scale seed seeds csv trace mout ->
+          with_obs trace mout (fun () -> f scale seed seeds csv))
+      $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ trace_arg
+      $ metrics_out_arg)
 
 let table2_cmd =
   Cmd.v

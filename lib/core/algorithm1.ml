@@ -6,6 +6,14 @@ module Nullspace = Tomo_linalg.Nullspace
 let src = Logs.Src.create "tomo.algorithm1" ~doc:"Path-set selection"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+module Obs = Tomo_obs
+
+let c_selections = Obs.Metrics.counter "alg1_selections"
+let c_equations = Obs.Metrics.counter "equations_formed"
+let c_rows_rejected = Obs.Metrics.counter "equations_rejected_dependent"
+let c_candidates = Obs.Metrics.counter "alg1_candidate_rows_materialized"
+let g_unknowns = Obs.Metrics.gauge "alg1_unknowns"
+let g_nullity = Obs.Metrics.gauge "alg1_final_nullity"
 
 type config = {
   max_subset_size : int;
@@ -44,18 +52,23 @@ type cand_state = {
 let materialize_candidates cfg model ~effective registry s =
   let pool = Bitset.to_list (Subsets.candidate_paths model ~effective s) in
   let pool = Array.of_list pool in
-  let acc = ref [] in
+  let acc = ref [] and n = ref 0 in
   let (_ : int) =
     Combin.iter_subsets_by_size pool ~max_size:cfg.max_pathset_size
       ~limit:cfg.max_candidates_per_subset (fun paths ->
         (match Eqn.row model ~effective registry ~paths with
-        | Some r -> acc := r :: !acc
+        | Some r ->
+            acc := r :: !acc;
+            incr n
         | None -> ());
         `Continue)
   in
+  Obs.Metrics.incr ~by:!n c_candidates;
   Array.of_list (List.rev !acc)
 
 let select ?(config = default_config) model obs =
+  Obs.Trace.with_span "algorithm1.select" @@ fun () ->
+  Obs.Metrics.incr c_selections;
   let cfg = config in
   let effective = Subsets.effective_links model obs in
   let registry = Eqn.registry () in
@@ -77,32 +90,39 @@ let select ?(config = default_config) model obs =
       nullspace = Matrix.make 0 0 0.0;
     }
   else begin
+    Obs.Metrics.set_gauge g_unknowns (float_of_int n);
+    if Obs.Trace.enabled () then
+      Obs.Trace.add_attr "unknowns" (string_of_int n);
     let nullspace = ref (Matrix.identity n) in
     let rows = ref [] in
     let try_add row =
       match
         Nullspace.update_incidence ~tol:cfg.tol !nullspace row.Eqn.vars
       with
-      | None -> false
+      | None ->
+          Obs.Metrics.incr c_rows_rejected;
+          false
       | Some n' ->
           nullspace := n';
           rows := row :: !rows;
+          Obs.Metrics.incr c_equations;
           true
     in
     Log.debug (fun m ->
         m "starting selection over %d unknowns (%d target subsets enumerated)"
           n (List.length targets));
     (* Lines 1-5: seed with Paths(E) \ Paths(Ē) for every subset E. *)
-    for v = 0 to n - 1 do
-      let s = Eqn.subset_of_var registry v in
-      let pool = Subsets.candidate_paths model ~effective s in
-      if not (Bitset.is_empty pool) then begin
-        let paths = Array.of_list (Bitset.to_list pool) in
-        match Eqn.row model ~effective registry ~paths with
-        | Some row -> ignore (try_add row)
-        | None -> ()
-      end
-    done;
+    Obs.Trace.with_span "algorithm1.seed" (fun () ->
+        for v = 0 to n - 1 do
+          let s = Eqn.subset_of_var registry v in
+          let pool = Subsets.candidate_paths model ~effective s in
+          if not (Bitset.is_empty pool) then begin
+            let paths = Array.of_list (Bitset.to_list pool) in
+            match Eqn.row model ~effective registry ~paths with
+            | Some row -> ignore (try_add row)
+            | None -> ()
+          end
+        done);
     (* Lines 8-22: grow the system guided by the null space. *)
     let states =
       Array.init n (fun _ -> { cands = None; cursor = 0 })
@@ -125,6 +145,7 @@ let select ?(config = default_config) model obs =
           c
     in
     let continue_ = ref true in
+    Obs.Trace.with_span "algorithm1.grow" (fun () ->
     while !continue_ && Matrix.cols !nullspace > 0 do
       (* SortByHammingWeight: try subsets whose N-row has the most
          non-zero entries first. *)
@@ -148,7 +169,8 @@ let select ?(config = default_config) model obs =
         end
       done;
       if not !progress then continue_ := false
-    done;
+    done);
+    Obs.Metrics.set_gauge g_nullity (float_of_int (Matrix.cols !nullspace));
     let rows = Array.of_list (List.rev !rows) in
     Log.debug (fun m ->
         m

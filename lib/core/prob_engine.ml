@@ -1,5 +1,8 @@
 module Bitset = Tomo_util.Bitset
 module Cgls = Tomo_linalg.Cgls
+module Obs = Tomo_obs
+
+let c_solves = Obs.Metrics.counter "prob_engine_solves"
 
 type t = {
   selection : Algorithm1.selection;
@@ -9,6 +12,8 @@ type t = {
 }
 
 let solve (selection : Algorithm1.selection) obs =
+  Obs.Trace.with_span "prob_engine.solve" @@ fun () ->
+  Obs.Metrics.incr c_solves;
   let n = Eqn.n_vars selection.Algorithm1.registry in
   let rows =
     Array.map (fun r -> r.Eqn.vars) selection.Algorithm1.rows

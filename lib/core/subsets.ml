@@ -1,5 +1,12 @@
 module Bitset = Tomo_util.Bitset
 module Combin = Tomo_util.Combin
+module Obs = Tomo_obs
+
+(* §4 complexity control observability: how many correlation subsets the
+   enumeration produced, and how often a correlation set hit the
+   per-set cap (truncating Ê, which trades completeness for time). *)
+let c_enumerated = Obs.Metrics.counter "subsets_enumerated"
+let c_capped = Obs.Metrics.counter "subsets_enumeration_capped"
 
 type t = { corr : int; links : int array }
 
@@ -87,7 +94,10 @@ let enumerate model ~effective ~max_size ~limit_per_set =
       let (_ : int) =
         Combin.iter_subsets_by_size eff ~max_size
           ~limit:(limit_per_set * 4) (fun links ->
-            if !found >= limit_per_set then `Stop
+            if !found >= limit_per_set then begin
+              Obs.Metrics.incr c_capped;
+              `Stop
+            end
             else begin
               let s = make model ~corr:c links in
               if inducible model ~effective s then begin
@@ -97,7 +107,7 @@ let enumerate model ~effective ~max_size ~limit_per_set =
               `Continue
             end)
       in
-      ()
+      Obs.Metrics.incr ~by:!found c_enumerated
     end
   done;
   List.rev !acc

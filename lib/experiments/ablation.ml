@@ -1,6 +1,7 @@
 module Bitset = Tomo_util.Bitset
 module Scenario = Tomo_netsim.Scenario
 module Run = Tomo_netsim.Run
+module Obs = Tomo_obs
 
 type subset_row = {
   max_subset_size : int;
@@ -18,6 +19,9 @@ let subset_size_sweep ~scale ~seed ~sizes =
   in
   List.map
     (fun size ->
+      Obs.Trace.with_span "ablation.subset_size"
+        ~attrs:[ ("max_subset_size", string_of_int size) ]
+      @@ fun () ->
       let config =
         { Tomo.Algorithm1.default_config with max_subset_size = size }
       in
@@ -77,6 +81,9 @@ let probe_sweep ~scale ~seed ~budgets =
   ideal_row
   :: List.map
        (fun budget ->
+         Obs.Trace.with_span "ablation.probe_budget"
+           ~attrs:[ ("probes_per_path", string_of_int budget) ]
+         @@ fun () ->
          let w =
            Workload.prepare
              (Workload.spec ~scale ~seed
@@ -140,6 +147,9 @@ type interval_row = { t_intervals : int; links_mae : float }
 let interval_sweep ~scale ~seed ~lengths =
   List.map
     (fun t ->
+      Obs.Trace.with_span "ablation.interval_length"
+        ~attrs:[ ("t_intervals", string_of_int t) ]
+      @@ fun () ->
       let w =
         Workload.prepare
           (Workload.spec ~scale ~seed ~t_override:t Workload.Brite

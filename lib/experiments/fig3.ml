@@ -1,5 +1,6 @@
 module Bitset = Tomo_util.Bitset
 module Scenario = Tomo_netsim.Scenario
+module Obs = Tomo_obs
 
 type algorithm = Sparsity | Bayesian_independence | Bayesian_correlation
 
@@ -29,6 +30,9 @@ let scenarios ~scale ~seed =
   ]
 
 let run_cell (w : Workload.prepared) algorithm =
+  Obs.Trace.with_span "fig3.cell"
+    ~attrs:[ ("algorithm", algorithm_to_string algorithm) ]
+  @@ fun () ->
   let model = w.Workload.model and obs = w.Workload.obs in
   (* Probability Computation happens once, over the whole experiment —
      exactly how CLINK-style algorithms operate. *)
@@ -68,6 +72,8 @@ let run_cell (w : Workload.prepared) algorithm =
 let run ~scale ~seed =
   List.map
     (fun (label, spec) ->
+      Obs.Trace.with_span "fig3.scenario" ~attrs:[ ("scenario", label) ]
+      @@ fun () ->
       let w = Workload.prepare spec in
       let cells = List.map (fun a -> (a, run_cell w a)) algorithms in
       { label; cells })

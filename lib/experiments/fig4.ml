@@ -2,6 +2,7 @@ module Bitset = Tomo_util.Bitset
 module Stats = Tomo_util.Stats
 module Scenario = Tomo_netsim.Scenario
 module Run = Tomo_netsim.Run
+module Obs = Tomo_obs
 
 type algorithm = Independence | Correlation_heuristic | Correlation_complete
 
@@ -30,6 +31,9 @@ let scenarios ~topology ~scale ~seed =
   ]
 
 let run_pc (w : Workload.prepared) algorithm =
+  Obs.Trace.with_span "fig4.pc"
+    ~attrs:[ ("algorithm", algorithm_to_string algorithm) ]
+  @@ fun () ->
   let model = w.Workload.model and obs = w.Workload.obs in
   match algorithm with
   | Independence -> (Tomo.Independence_pc.compute model obs, None)
@@ -54,6 +58,8 @@ type mae_row = { label : string; cells : (algorithm * float) list }
 let run_mae ~topology ~scale ~seed =
   List.map
     (fun (label, spec) ->
+      Obs.Trace.with_span "fig4.scenario" ~attrs:[ ("scenario", label) ]
+      @@ fun () ->
       let w = Workload.prepare spec in
       let cells =
         List.map
@@ -94,6 +100,7 @@ let run_mae_averaged ~topology ~scale ~seeds =
         total
 
 let run_cdf ~scale ~seed ~steps =
+  Obs.Trace.with_span "fig4.cdf" @@ fun () ->
   let spec =
     Workload.spec ~scale ~seed ~nonstationary:true Workload.Sparse
       Scenario.No_independence
@@ -141,6 +148,9 @@ let score_subsets (w : Workload.prepared) engine =
 let run_subsets ~scale ~seed =
   List.map
     (fun topology ->
+      Obs.Trace.with_span "fig4.subsets"
+        ~attrs:[ ("topology", Workload.topology_to_string topology) ]
+      @@ fun () ->
       let spec =
         Workload.spec ~scale ~seed ~nonstationary:true topology
           Scenario.No_independence

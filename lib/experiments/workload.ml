@@ -4,6 +4,9 @@ module Sparse_gen = Tomo_topology.Sparse_topo
 module Scenario = Tomo_netsim.Scenario
 module Run = Tomo_netsim.Run
 module Rng = Tomo_util.Rng
+module Obs = Tomo_obs
+
+let c_prepared = Obs.Metrics.counter "workloads_prepared"
 
 type topology = Brite | Sparse
 
@@ -73,6 +76,13 @@ let observations_of_run (run : Run.result) =
     ~path_good:run.Run.path_good
 
 let prepare spec =
+  Obs.Trace.with_span "workload.prepare" @@ fun () ->
+  Obs.Metrics.incr c_prepared;
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.add_attr "topology" (topology_to_string spec.topology);
+    Obs.Trace.add_attr "scale" (scale_to_string spec.scale);
+    Obs.Trace.add_attr "seed" (string_of_int spec.seed)
+  end;
   let overlay =
     match spec.topology with
     | Brite ->
@@ -106,7 +116,8 @@ let prepare spec =
   let model = model_of_overlay overlay in
   let obs = observations_of_run run in
   let truth_marginals =
-    Array.init (Overlay.n_links overlay) (fun e ->
-        Run.true_link_marginal run e)
+    Obs.Trace.with_span "workload.truth_marginals" (fun () ->
+        Array.init (Overlay.n_links overlay) (fun e ->
+            Run.true_link_marginal run e))
   in
   { spec; overlay; model; run; obs; truth_marginals }

@@ -1,3 +1,9 @@
+module Obs = Tomo_obs
+
+let c_solves = Obs.Metrics.counter "cgls_solves"
+let c_iterations = Obs.Metrics.counter "cgls_iterations"
+let h_residual = Obs.Metrics.histogram "cgls_final_residual"
+
 let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
   let m = Array.length rows in
   if Array.length b <> m then invalid_arg "Cgls.solve: size mismatch";
@@ -11,7 +17,8 @@ let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
   in
   let x = Array.make n_vars 0.0 in
   if m = 0 || n_vars = 0 then x
-  else begin
+  else Obs.Trace.with_span "cgls.solve" @@ fun () ->
+  begin
     (* A·v for incidence rows: per-row sum of selected coordinates. *)
     let apply_a v out =
       Array.iteri
@@ -42,9 +49,11 @@ let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
     let q = Array.make m 0.0 in
     let gamma = ref (dot s s) in
     let target = tol *. sqrt !gamma in
+    let iters = ref 0 in
     (try
        for _ = 1 to max_iter do
          if sqrt !gamma <= target || !gamma = 0.0 then raise Exit;
+         incr iters;
          apply_a p q;
          let qq = dot q q in
          if qq <= 0.0 then raise Exit;
@@ -58,5 +67,11 @@ let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
          gamma := gamma'
        done
      with Exit -> ());
+    Obs.Metrics.incr c_solves;
+    Obs.Metrics.incr ~by:!iters c_iterations;
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.observe h_residual (sqrt (dot r r));
+      Obs.Trace.add_attr "iterations" (string_of_int !iters)
+    end;
     x
   end

@@ -1,6 +1,16 @@
 let default_tol = 1e-8
 
+module Obs = Tomo_obs
+
+(* Algorithm 2 observability: how often the null space advances by the
+   paper's incremental update vs. a from-scratch recomputation, and how
+   many candidate rows the update rejects as dependent. *)
+let c_recomputes = Obs.Metrics.counter "nullspace_recomputes"
+let c_incremental = Obs.Metrics.counter "nullspace_incremental_updates"
+let c_rejections = Obs.Metrics.counter "nullspace_dependent_rejections"
+
 let basis ?tol m =
+  Obs.Metrics.incr c_recomputes;
   let { Gauss.reduced; pivot_cols; rank } = Gauss.rref ?tol m in
   let n = Matrix.cols m in
   let is_pivot = Array.make n false in
@@ -67,8 +77,12 @@ let update_incidence ?(tol = default_tol) n idxs =
     for k = 1 to p - 1 do
       if abs_float v.(k) > abs_float v.(!j) then j := k
     done;
-    if abs_float v.(!j) <= tol then None
+    if abs_float v.(!j) <= tol then begin
+      Obs.Metrics.incr c_rejections;
+      None
+    end
     else begin
+      Obs.Metrics.incr c_incremental;
       let pivot = v.(!j) in
       let nj = Matrix.col n !j in
       let out = Matrix.make nvars (p - 1) 0.0 in
@@ -97,8 +111,12 @@ let update ?(tol = default_tol) n r =
     for k = 1 to p - 1 do
       if abs_float v.(k) > abs_float v.(!j) then j := k
     done;
-    if abs_float v.(!j) <= tol then n
+    if abs_float v.(!j) <= tol then begin
+      Obs.Metrics.incr c_rejections;
+      n
+    end
     else begin
+      Obs.Metrics.incr c_incremental;
       let pivot = v.(!j) in
       let nj = Matrix.col n !j in
       let out = Matrix.make nvars (p - 1) 0.0 in

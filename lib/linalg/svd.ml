@@ -1,11 +1,17 @@
 type t = { u : Matrix.t; sigma : float array; v : Matrix.t }
 
+module Obs = Tomo_obs
+
+let c_decompositions = Obs.Metrics.counter "svd_decompositions"
+let c_sweeps = Obs.Metrics.counter "svd_jacobi_sweeps"
+
 (* One-sided Jacobi: rotate column pairs of a working copy W (initially
    A) and accumulate the rotations in V, until all column pairs are
    numerically orthogonal. Then sigma_j = ||W_j|| and U_j = W_j/sigma_j. *)
 let decompose ?(eps = 1e-12) ?(max_sweeps = 60) a =
   let m = Matrix.rows a and n = Matrix.cols a in
   if m < n then invalid_arg "Svd.decompose: need rows >= cols";
+  Obs.Trace.with_span "svd.decompose" @@ fun () ->
   let w = Matrix.copy a in
   let v = Matrix.identity n in
   let col_dot j k =
@@ -50,6 +56,8 @@ let decompose ?(eps = 1e-12) ?(max_sweeps = 60) a =
       done
     done
   done;
+  Obs.Metrics.incr c_decompositions;
+  Obs.Metrics.incr ~by:!sweeps c_sweeps;
   let sigma = Array.init n (fun j -> sqrt (max 0.0 (col_dot j j))) in
   (* Sort singular values descending, permuting W's and V's columns. *)
   let order = Array.init n (fun j -> j) in

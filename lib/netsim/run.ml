@@ -1,6 +1,11 @@
 module Overlay = Tomo_topology.Overlay
 module Bitset = Tomo_util.Bitset
 module Rng = Tomo_util.Rng
+module Obs = Tomo_obs
+
+let c_intervals = Obs.Metrics.counter "sim_intervals"
+let c_epochs = Obs.Metrics.counter "sim_epochs"
+let c_probe_packets = Obs.Metrics.counter "sim_probe_packets"
 
 type measurement = Ideal | Probes of { per_path : int; f : float }
 type dynamics = Stationary | Redraw_every of int
@@ -16,6 +21,9 @@ type result = {
 
 let run ~scenario ~dynamics ~measurement ~t_intervals ~rng =
   if t_intervals <= 0 then invalid_arg "Run.run: no intervals";
+  Obs.Trace.with_span "netsim.run" @@ fun () ->
+  if Obs.Trace.enabled () then
+    Obs.Trace.add_attr "t_intervals" (string_of_int t_intervals);
   let epoch_len =
     match dynamics with
     | Stationary -> t_intervals
@@ -32,8 +40,11 @@ let run ~scenario ~dynamics ~measurement ~t_intervals ~rng =
   let path_good = Array.init n_paths (fun _ -> Bitset.create t_intervals) in
   let epochs = ref [] in
   let model = ref None in
+  Obs.Trace.with_span "netsim.simulate" (fun () ->
+  Obs.Metrics.incr ~by:t_intervals c_intervals;
   for t = 0 to t_intervals - 1 do
     if t mod epoch_len = 0 then begin
+      Obs.Metrics.incr c_epochs;
       let probs = Scenario.draw_probs scenario prob_rng in
       let len = min epoch_len (t_intervals - t) in
       epochs := { length = len; probs } :: !epochs;
@@ -52,6 +63,7 @@ let run ~scenario ~dynamics ~measurement ~t_intervals ~rng =
             if not is_congested then Bitset.set path_good.(p.Overlay.id) t)
           ov.Overlay.paths
     | Probes { per_path; f } ->
+        Obs.Metrics.incr ~by:(per_path * n_paths) c_probe_packets;
         let losses =
           Array.init n_links (fun e ->
               Probe.loss_rate loss_rng ~congested:(Bitset.get congested e))
@@ -65,7 +77,7 @@ let run ~scenario ~dynamics ~measurement ~t_intervals ~rng =
             if not congested_measured then
               Bitset.set path_good.(p.Overlay.id) t)
           ov.Overlay.paths)
-  done;
+  done);
   {
     overlay = ov;
     t_intervals;

@@ -1,0 +1,145 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float; mutable g_set : bool }
+
+(* Log-scale buckets: slot [i] has upper bound 2^(i - underflow_slots);
+   slot 0 is the underflow bucket for values <= 0. *)
+let n_slots = 97
+let underflow_slots = 48
+
+type histogram = {
+  slots : int array; (* n_slots *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let register name make describe =
+  match Hashtbl.find_opt registry name with
+  | Some i -> describe i
+  | None ->
+      let i = make () in
+      Hashtbl.add registry name i;
+      describe i
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as another kind" name)
+
+let counter name =
+  register name
+    (fun () -> C { c = 0 })
+    (function C c -> c | _ -> kind_error name)
+
+let incr ?(by = 1) c = if !enabled_flag then c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge name =
+  register name
+    (fun () -> G { g = 0.0; g_set = false })
+    (function G g -> g | _ -> kind_error name)
+
+let set_gauge g v =
+  if !enabled_flag then begin
+    g.g <- v;
+    g.g_set <- true
+  end
+
+let gauge_value g = if g.g_set then Some g.g else None
+
+let histogram name =
+  register name
+    (fun () ->
+      H
+        {
+          slots = Array.make n_slots 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        })
+    (function H h -> h | _ -> kind_error name)
+
+let slot_of v =
+  if v <= 0.0 || Float.is_nan v then 0
+  else
+    let _, e = Float.frexp v in
+    (* v ∈ [2^(e-1), 2^e): upper bound 2^e, slot e + underflow_slots. *)
+    max 1 (min (n_slots - 1) (e + underflow_slots))
+
+let slot_upper i =
+  if i = 0 then 0.0 else Float.ldexp 1.0 (i - underflow_slots)
+
+let observe h v =
+  if !enabled_flag then begin
+    let s = slot_of v in
+    h.slots.(s) <- h.slots.(s) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v < h.h_min then h.h_min <- v;
+    if v > h.h_max then h.h_max <- v
+  end
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  buckets : (float * int) list;
+}
+
+let histogram_stats h =
+  let buckets = ref [] in
+  for i = n_slots - 1 downto 0 do
+    if h.slots.(i) > 0 then buckets := (slot_upper i, h.slots.(i)) :: !buckets
+  done;
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min_v = h.h_min;
+    max_v = h.h_max;
+    buckets = !buckets;
+  }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_stats) list;
+}
+
+let snapshot () =
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  Hashtbl.iter
+    (fun name -> function
+      | C c -> cs := (name, c.c) :: !cs
+      | G g -> if g.g_set then gs := (name, g.g) :: !gs
+      | H h -> hs := (name, histogram_stats h) :: !hs)
+    registry;
+  let by_name (a, _) (b, _) = String.compare a b in
+  {
+    counters = List.sort by_name !cs;
+    gauges = List.sort by_name !gs;
+    histograms = List.sort by_name !hs;
+  }
+
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+      | C c -> c.c <- 0
+      | G g ->
+          g.g <- 0.0;
+          g.g_set <- false
+      | H h ->
+          Array.fill h.slots 0 n_slots 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity)
+    registry

@@ -1,0 +1,63 @@
+(** Process-global registry of named counters, gauges and log-scale
+    histograms.
+
+    Instruments are interned by name: [counter "equations_formed"]
+    returns the same handle everywhere, so modules can register their
+    instruments at load time and tests or exporters can look them up by
+    name.  Registering the same name as two different instrument kinds
+    raises [Invalid_argument].
+
+    Recording is off by default.  While disabled, [incr] / [set_gauge] /
+    [observe] are a single branch and return — no allocation, no hash
+    lookup (handles hold their cells directly).  Enable with
+    [set_enabled] (done by {!Sink.init} when a metrics sink is
+    configured).  Reads ([counter_value], [snapshot], …) work regardless
+    of the enabled flag. *)
+
+type counter
+type gauge
+type histogram
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val counter : string -> counter
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+
+(** [None] until the gauge is first set. *)
+val gauge_value : gauge -> float option
+
+(** Histograms bucket observations by power of two: the bucket with
+    upper bound [2^e] holds values in [[2^(e-1), 2^e)].  Non-positive
+    values land in a dedicated underflow bucket (upper bound [0.]). *)
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min_v : float;  (** [infinity] when [count = 0] *)
+  max_v : float;  (** [neg_infinity] when [count = 0] *)
+  buckets : (float * int) list;
+      (** non-empty buckets as [(upper_bound, count)], ascending *)
+}
+
+val histogram_stats : histogram -> histogram_stats
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;  (** only gauges that were set *)
+  histograms : (string * histogram_stats) list;
+}
+
+(** Everything registered, each section sorted by name.  Counters appear
+    even at zero so exported snapshots have a stable shape. *)
+val snapshot : unit -> snapshot
+
+(** Zero every instrument; registrations and handles stay valid. *)
+val reset : unit -> unit

@@ -1,0 +1,268 @@
+type trace_mode = Trace_off | Trace_human | Trace_jsonl of string
+
+let mode = ref Trace_off
+let metrics_path : string option ref = ref None
+let exit_hook_registered = ref false
+let trace_mode () = !mode
+let metrics_out () = !metrics_path
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let json_string buf s =
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"'
+
+(* JSON has no infinities; clamp degenerate histogram bounds to null. *)
+let json_float buf v =
+  if Float.is_finite v then Buffer.add_string buf (Printf.sprintf "%.17g" v)
+  else Buffer.add_string buf "null"
+
+let json_fields buf fields =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, emit) ->
+      if i > 0 then Buffer.add_char buf ',';
+      json_string buf k;
+      Buffer.add_char buf ':';
+      emit buf)
+    fields;
+  Buffer.add_char buf '}'
+
+(* ------------------------------------------------------------------ *)
+(* Span rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let pp_duration ppf s =
+  if s >= 1.0 then Format.fprintf ppf "%8.2f s " s
+  else if s >= 1e-3 then Format.fprintf ppf "%8.2f ms" (s *. 1e3)
+  else Format.fprintf ppf "%8.1f us" (s *. 1e6)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+      Format.fprintf ppf "  {%s}"
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) attrs))
+
+let rec pp_span_at depth ppf (s : Trace.span) =
+  Format.fprintf ppf "%s%-*s%a%a@."
+    (String.make (2 * depth) ' ')
+    (max 1 (48 - (2 * depth)))
+    s.Trace.name pp_duration s.Trace.duration_s pp_attrs s.Trace.attrs;
+  List.iter (pp_span_at (depth + 1) ppf) s.Trace.children
+
+let pp_span_tree ppf () =
+  match Trace.roots () with
+  | [] -> Format.fprintf ppf "(no spans recorded)@."
+  | roots -> List.iter (pp_span_at 0 ppf) roots
+
+let spans_jsonl buf spans =
+  let rec emit path (s : Trace.span) =
+    let path =
+      if path = "" then s.Trace.name else path ^ "/" ^ s.Trace.name
+    in
+    json_fields buf
+      [
+        ("path", fun b -> json_string b path);
+        ("name", fun b -> json_string b s.Trace.name);
+        ("start_s", fun b -> json_float b s.Trace.start_s);
+        ("duration_s", fun b -> json_float b s.Trace.duration_s);
+        ( "attrs",
+          fun b ->
+            json_fields b
+              (List.map
+                 (fun (k, v) -> (k, fun b -> json_string b v))
+                 s.Trace.attrs) );
+      ];
+    Buffer.add_char buf '\n';
+    List.iter (emit path) s.Trace.children
+  in
+  List.iter (emit "") spans
+
+(* ------------------------------------------------------------------ *)
+(* Metrics rendering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let pp_metrics_table ppf () =
+  let snap = Metrics.snapshot () in
+  if snap.Metrics.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-42s%14d@." name v)
+      snap.Metrics.counters
+  end;
+  if snap.Metrics.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-42s%14g@." name v)
+      snap.Metrics.gauges
+  end;
+  if snap.Metrics.histograms <> [] then begin
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun (name, (h : Metrics.histogram_stats)) ->
+        if h.Metrics.count = 0 then
+          Format.fprintf ppf "  %-42s%14s@." name "(empty)"
+        else
+          Format.fprintf ppf "  %-42scount=%d sum=%g min=%g max=%g@." name
+            h.Metrics.count h.Metrics.sum h.Metrics.min_v h.Metrics.max_v)
+      snap.Metrics.histograms
+  end;
+  if
+    snap.Metrics.counters = [] && snap.Metrics.gauges = []
+    && snap.Metrics.histograms = []
+  then Format.fprintf ppf "(no metrics registered)@."
+
+let snapshot_json (snap : Metrics.snapshot) =
+  let buf = Buffer.create 512 in
+  json_fields buf
+    [
+      ( "counters",
+        fun b ->
+          json_fields b
+            (List.map
+               (fun (name, v) ->
+                 (name, fun b -> Buffer.add_string b (string_of_int v)))
+               snap.Metrics.counters) );
+      ( "gauges",
+        fun b ->
+          json_fields b
+            (List.map
+               (fun (name, v) -> (name, fun b -> json_float b v))
+               snap.Metrics.gauges) );
+      ( "histograms",
+        fun b ->
+          json_fields b
+            (List.map
+               (fun (name, (h : Metrics.histogram_stats)) ->
+                 ( name,
+                   fun b ->
+                     json_fields b
+                       [
+                         ( "count",
+                           fun b ->
+                             Buffer.add_string b
+                               (string_of_int h.Metrics.count) );
+                         ("sum", fun b -> json_float b h.Metrics.sum);
+                         ("min", fun b -> json_float b h.Metrics.min_v);
+                         ("max", fun b -> json_float b h.Metrics.max_v);
+                         ( "buckets",
+                           fun b ->
+                             Buffer.add_char b '[';
+                             List.iteri
+                               (fun i (ub, n) ->
+                                 if i > 0 then Buffer.add_char b ',';
+                                 Buffer.add_char b '[';
+                                 json_float b ub;
+                                 Buffer.add_char b ',';
+                                 Buffer.add_string b (string_of_int n);
+                                 Buffer.add_char b ']')
+                               h.Metrics.buckets;
+                             Buffer.add_char b ']' );
+                       ] ))
+               snap.Metrics.histograms) );
+    ];
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and flushing                                          *)
+(* ------------------------------------------------------------------ *)
+
+let flushed_once = ref false
+
+(* A sink that cannot be written must not take the results down with
+   it: report and carry on. *)
+let nonfatal what f =
+  try f ()
+  with Sys_error msg ->
+    Printf.eprintf "tomo_obs: cannot write %s: %s\n%!" what msg
+
+let with_out path f =
+  match path with
+  | "-" -> f stdout
+  | path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let flush () =
+  flushed_once := true;
+  (match !mode with
+  | Trace_off -> ()
+  | Trace_human ->
+      let ppf = Format.std_formatter in
+      Format.fprintf ppf "@.--- trace ---------------------------------@.";
+      pp_span_tree ppf ();
+      if Metrics.enabled () then begin
+        Format.fprintf ppf "--- metrics -------------------------------@.";
+        pp_metrics_table ppf ()
+      end;
+      Format.pp_print_flush ppf ()
+  | Trace_jsonl path ->
+      let buf = Buffer.create 1024 in
+      spans_jsonl buf (Trace.roots ());
+      if path = "-" then (
+        output_string stderr (Buffer.contents buf);
+        Stdlib.flush stderr)
+      else
+        nonfatal ("trace file " ^ path) (fun () ->
+            let oc =
+              open_out_gen [ Open_creat; Open_append; Open_text ] 0o644 path
+            in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc (Buffer.contents buf))));
+  Trace.reset ();
+  match !metrics_path with
+  | None -> ()
+  | Some path ->
+      nonfatal ("metrics file " ^ path) (fun () ->
+          with_out path (fun oc ->
+              output_string oc (snapshot_json (Metrics.snapshot ()));
+              output_char oc '\n';
+              Stdlib.flush oc))
+
+let mode_of_env () =
+  match Sys.getenv_opt "TOMO_TRACE" with
+  | None | Some "" | Some "0" | Some "off" -> Trace_off
+  | Some "1" | Some "human" | Some "tree" -> Trace_human
+  | Some "json" | Some "jsonl" -> Trace_jsonl "-"
+  | Some path -> Trace_jsonl path
+
+let metrics_out_of_env () =
+  match Sys.getenv_opt "TOMO_METRICS_OUT" with
+  | None | Some "" -> None
+  | Some path -> Some path
+
+let init ?trace ?metrics_out () =
+  mode := (match trace with Some m -> m | None -> mode_of_env ());
+  metrics_path :=
+    (match metrics_out with Some p -> Some p | None -> metrics_out_of_env ());
+  Trace.set_enabled (!mode <> Trace_off);
+  (* A human trace without a metrics file still collects (and prints)
+     metrics; JSON-lines traces leave metrics to TOMO_METRICS_OUT. *)
+  Metrics.set_enabled (!metrics_path <> None || !mode = Trace_human);
+  if (!mode <> Trace_off || !metrics_path <> None) && not !exit_hook_registered
+  then begin
+    exit_hook_registered := true;
+    (* Only flush at exit if nothing flushed explicitly, or new spans
+       accumulated since — avoids printing everything twice. *)
+    at_exit (fun () ->
+        if (not !flushed_once) || Trace.roots () <> [] then flush ())
+  end

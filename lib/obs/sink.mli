@@ -1,0 +1,54 @@
+(** Export sinks for {!Trace} spans and {!Metrics} snapshots.
+
+    Configuration comes from two environment variables (or explicit
+    [init] arguments, which the CLI's [--trace] / [--metrics-out] flags
+    use):
+
+    - [TOMO_TRACE]: unset, ["0"] or ["off"] — tracing disabled;
+      ["1"], ["human"] or ["tree"] — print a span tree on flush;
+      ["json"] or ["jsonl"] — spans as JSON lines on stderr;
+      any other value — spans as JSON lines appended to that file path.
+    - [TOMO_METRICS_OUT]: a file path (["-"] for stdout) that receives
+      one JSON object with every registered counter, gauge and
+      histogram on flush.
+
+    [init] enables {!Trace} / {!Metrics} recording as needed and
+    registers an [at_exit] flush, so any binary that calls
+    [Sink.init ()] once at startup gets observability for free.  When
+    neither sink is configured nothing is enabled and the instrumented
+    code runs at its uninstrumented speed. *)
+
+type trace_mode =
+  | Trace_off
+  | Trace_human  (** span tree + metrics table on stdout *)
+  | Trace_jsonl of string  (** JSON lines to a path, ["-"] = stderr *)
+
+(** [init ?trace ?metrics_out ()] configures the sinks.  Omitted
+    arguments fall back to the environment variables above.  Idempotent;
+    may be called again (e.g. once from [main], once after CLI parsing)
+    — the last call wins. *)
+val init : ?trace:trace_mode -> ?metrics_out:string -> unit -> unit
+
+val trace_mode : unit -> trace_mode
+val metrics_out : unit -> string option
+
+(** Render every completed root span as an indented tree. *)
+val pp_span_tree : Format.formatter -> unit -> unit
+
+(** Render the current metrics snapshot as aligned tables. *)
+val pp_metrics_table : Format.formatter -> unit -> unit
+
+(** One JSON object per span (pre-order), one per line.  Each line
+    carries [path] (slash-joined ancestry), [name], [start_s],
+    [duration_s] and [attrs]. *)
+val spans_jsonl : Buffer.t -> Trace.span list -> unit
+
+(** The snapshot as a single JSON object:
+    [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+val snapshot_json : Metrics.snapshot -> string
+
+(** Write everything to the configured sinks, then clear recorded
+    spans.  Called automatically at exit after [init]; safe to call
+    earlier (the exit flush then only adds whatever accumulated
+    since). *)
+val flush : unit -> unit

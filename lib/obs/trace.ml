@@ -1,0 +1,78 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;
+  duration_s : float;
+  children : span list;
+}
+
+(* A span still running: attrs and children accumulate in reverse. *)
+type open_span = {
+  o_name : string;
+  mutable o_attrs : (string * string) list;
+  o_start : float;
+  mutable o_children : span list;
+}
+
+let enabled_flag = ref false
+let stack : open_span list ref = ref []
+let finished : span list ref = ref [] (* completed roots, newest first *)
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let reset () =
+  stack := [];
+  finished := []
+
+let now () = Unix.gettimeofday ()
+
+let close o =
+  {
+    name = o.o_name;
+    attrs = List.rev o.o_attrs;
+    start_s = o.o_start;
+    duration_s = now () -. o.o_start;
+    children = List.rev o.o_children;
+  }
+
+let with_span ?attrs name f =
+  if not !enabled_flag then f ()
+  else begin
+    let o =
+      {
+        o_name = name;
+        o_attrs = (match attrs with None -> [] | Some l -> List.rev l);
+        o_start = now ();
+        o_children = [];
+      }
+    in
+    stack := o :: !stack;
+    let finish () =
+      (* Pop down to [o]: anything above it was left open by an escaping
+         exception and is discarded with it. *)
+      let rec pop = function
+        | top :: rest -> if top == o then rest else pop rest
+        | [] -> []
+      in
+      stack := pop !stack;
+      let s = close o in
+      match !stack with
+      | parent :: _ -> parent.o_children <- s :: parent.o_children
+      | [] -> finished := s :: !finished
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let add_attr k v =
+  if !enabled_flag then
+    match !stack with
+    | o :: _ -> o.o_attrs <- (k, v) :: o.o_attrs
+    | [] -> ()
+
+let roots () = List.rev !finished

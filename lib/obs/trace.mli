@@ -1,0 +1,48 @@
+(** Hierarchical timed spans.
+
+    A span covers the execution of a code region.  Spans opened while
+    another span is running become its children, giving a tree per
+    top-level region — the instrumented pipeline renders as
+
+    {v
+    fig4.scenario                                  12.3 ms
+      brite.generate                                2.1 ms
+      netsim.run                                    4.0 ms
+      algorithm1.select                             3.9 ms
+    v}
+
+    Tracing is off by default.  While disabled, [with_span] is a single
+    branch followed by a tail call of the thunk: no clock read, no
+    allocation.  Enable it with [set_enabled] (done by {!Sink.init} when
+    [TOMO_TRACE] or [--trace] asks for it).
+
+    The span stack is per-process (the whole pipeline is sequential);
+    spans from concurrent domains would interleave arbitrarily. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;  (** in the order they were attached *)
+  start_s : float;  (** seconds since the Unix epoch *)
+  duration_s : float;
+  children : span list;  (** in execution order *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** [with_span ?attrs name f] runs [f ()] inside a span named [name].
+    The span is closed (and attached to its parent, or recorded as a
+    root) when [f] returns or raises.  Note that an [?attrs] literal is
+    evaluated by the caller even when tracing is disabled; hot call
+    sites should omit it and use [add_attr] instead. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span.  No-op when tracing
+    is disabled or no span is open. *)
+val add_attr : string -> string -> unit
+
+(** Completed top-level spans, oldest first. *)
+val roots : unit -> span list
+
+(** Drop all recorded and in-flight spans. *)
+val reset : unit -> unit

@@ -1,4 +1,7 @@
 module Rng = Tomo_util.Rng
+module Obs = Tomo_obs
+
+let c_generated = Obs.Metrics.counter "topologies_generated"
 
 type params = {
   n_ases : int;
@@ -22,6 +25,7 @@ let default =
   }
 
 let generate ?(params = default) ~seed () =
+  Obs.Trace.with_span "sparse_topo.generate" @@ fun () ->
   let rng = Rng.create seed in
   let topo_rng = Rng.split rng ~label:"internet" in
   let path_rng = Rng.split rng ~label:"paths" in
@@ -91,4 +95,10 @@ let generate ?(params = default) ~seed () =
               | None -> ()))
     end
   done;
-  Overlay.Builder.finalize b
+  let ov = Overlay.Builder.finalize b in
+  Obs.Metrics.incr c_generated;
+  if Obs.Trace.enabled () then begin
+    Obs.Trace.add_attr "links" (string_of_int (Overlay.n_links ov));
+    Obs.Trace.add_attr "paths" (string_of_int (Overlay.n_paths ov))
+  end;
+  ov

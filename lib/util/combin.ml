@@ -43,6 +43,8 @@ let combinations xs k =
 
 exception Stop
 
+let c_subsets_visited = Tomo_obs.Metrics.counter "combin_subsets_visited"
+
 let iter_subsets_by_size xs ~max_size ~limit f =
   let visited = ref 0 in
   (try
@@ -54,6 +56,7 @@ let iter_subsets_by_size xs ~max_size ~limit f =
            match f c with `Stop -> raise Stop | `Continue -> ())
      done
    with Stop -> ());
+  Tomo_obs.Metrics.incr ~by:!visited c_subsets_visited;
   !visited
 
 let subsets_up_to xs ~max_size ~limit =

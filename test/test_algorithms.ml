@@ -103,6 +103,27 @@ let test_alg1_rows_are_independent () =
     - Matrix.cols sel.Algorithm1.nullspace)
     (Array.length sel.Algorithm1.rows)
 
+let test_alg1_reports_equations_formed () =
+  (* Algorithm 1 reports its work through the observability registry:
+     with metrics enabled, a selection run advances equations_formed by
+     one per kept equation. *)
+  let c = Tomo_obs.Metrics.counter "equations_formed" in
+  Tomo_obs.Metrics.set_enabled true;
+  Tomo_obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tomo_obs.Metrics.set_enabled false;
+      Tomo_obs.Metrics.reset ())
+    (fun () ->
+      let m = Toy.case1 () in
+      let obs = toy_obs toy_truth in
+      let sel = Algorithm1.select m obs in
+      check_bool "equations_formed >= 1" true
+        (Tomo_obs.Metrics.counter_value c >= 1);
+      check_int "equations_formed counts the kept equations"
+        (Array.length sel.Algorithm1.rows)
+        (Tomo_obs.Metrics.counter_value c))
+
 let test_alg1_effective_restriction () =
   (* With p3 always good, only {e1} and {e2} remain unknowns (paper §5.2
      example) and both are identifiable. *)
@@ -782,6 +803,8 @@ let () =
             test_alg1_rows_are_independent;
           Alcotest.test_case "restriction to potentially congested" `Quick
             test_alg1_effective_restriction;
+          Alcotest.test_case "reports equations_formed via registry" `Quick
+            test_alg1_reports_equations_formed;
         ] );
       ( "prob_engine",
         [

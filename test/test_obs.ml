@@ -1,0 +1,297 @@
+(* Tests for the observability library: span trees, the metrics
+   registry and the JSON export shape.  Trace and Metrics hold
+   process-global state, so every test restores the disabled default on
+   the way out. *)
+
+module Trace = Tomo_obs.Trace
+module Metrics = Tomo_obs.Metrics
+module Sink = Tomo_obs.Sink
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let with_tracing f =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+let with_metrics f =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  let r =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "first" (fun () -> ()) ;
+        Trace.with_span "second" (fun () ->
+            Trace.with_span "grandchild" (fun () -> ()));
+        17)
+  in
+  check_int "thunk result passes through" 17 r;
+  match Trace.roots () with
+  | [ outer ] ->
+      check_string "root name" "outer" outer.Trace.name;
+      (match outer.Trace.children with
+      | [ a; b ] ->
+          check_string "children in execution order (1)" "first" a.Trace.name;
+          check_string "children in execution order (2)" "second" b.Trace.name;
+          check_int "grandchild attached" 1 (List.length b.Trace.children)
+      | l -> Alcotest.failf "expected 2 children, got %d" (List.length l))
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l)
+
+let test_span_timing_monotonic () =
+  with_tracing @@ fun () ->
+  Trace.with_span "parent" (fun () ->
+      Trace.with_span "child" (fun () ->
+          (* Make the child take a measurable amount of time. *)
+          let s = ref 0.0 in
+          for i = 1 to 20_000 do
+            s := !s +. sqrt (float_of_int i)
+          done;
+          ignore !s));
+  match Trace.roots () with
+  | [ p ] ->
+      let c = List.hd p.Trace.children in
+      check_bool "durations are non-negative" true
+        (p.Trace.duration_s >= 0.0 && c.Trace.duration_s >= 0.0);
+      check_bool "child starts at or after parent" true
+        (c.Trace.start_s >= p.Trace.start_s);
+      check_bool "child fits inside parent" true
+        (c.Trace.duration_s <= p.Trace.duration_s +. 1e-9)
+  | _ -> Alcotest.fail "expected exactly one root"
+
+let test_span_attrs () =
+  with_tracing @@ fun () ->
+  Trace.with_span "s" ~attrs:[ ("k", "v") ] (fun () ->
+      Trace.add_attr "n" "42");
+  match Trace.roots () with
+  | [ s ] ->
+      check_bool "literal attr recorded" true
+        (List.mem_assoc "k" s.Trace.attrs);
+      check_string "add_attr recorded" "42" (List.assoc "n" s.Trace.attrs)
+  | _ -> Alcotest.fail "expected exactly one root"
+
+let test_span_exception_safe () =
+  with_tracing @@ fun () ->
+  (try
+     Trace.with_span "outer" (fun () ->
+         Trace.with_span "thrower" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  (* Both spans must have been closed despite the exception, and a new
+     root must attach at the top level, not under a leaked open span. *)
+  Trace.with_span "after" (fun () -> ());
+  match Trace.roots () with
+  | [ outer; after ] ->
+      check_string "failed root closed" "outer" outer.Trace.name;
+      check_int "thrower closed under outer" 1
+        (List.length outer.Trace.children);
+      check_string "subsequent span is a root" "after" after.Trace.name
+  | l -> Alcotest.failf "expected 2 roots, got %d" (List.length l)
+
+let test_span_disabled_noop () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  let r = Trace.with_span "ignored" ~attrs:[ ("a", "b") ] (fun () -> 3) in
+  Trace.add_attr "also" "ignored";
+  check_int "thunk still runs" 3 r;
+  check_int "nothing recorded" 0 (List.length (Trace.roots ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_arithmetic () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test_obs.c1" in
+  check_int "starts at zero" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.incr ~by:5 c;
+  check_int "1 + 5" 6 (Metrics.counter_value c);
+  let c' = Metrics.counter "test_obs.c1" in
+  Metrics.incr c';
+  check_int "same name interns to the same cell" 7 (Metrics.counter_value c)
+
+let test_kind_mismatch () =
+  let _ = Metrics.counter "test_obs.kind" in
+  Alcotest.check_raises "counter name reused as gauge"
+    (Invalid_argument
+       "Metrics: \"test_obs.kind\" already registered as another kind")
+    (fun () -> ignore (Metrics.gauge "test_obs.kind"))
+
+let test_gauge () =
+  with_metrics @@ fun () ->
+  let g = Metrics.gauge "test_obs.g1" in
+  check_bool "unset gauge reads None" true (Metrics.gauge_value g = None);
+  Metrics.set_gauge g 2.5;
+  Metrics.set_gauge g 4.0;
+  check_bool "last write wins" true (Metrics.gauge_value g = Some 4.0)
+
+let test_histogram () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test_obs.h1" in
+  List.iter (Metrics.observe h) [ 3.0; 3.5; 0.75; -1.0 ];
+  let s = Metrics.histogram_stats h in
+  check_int "count" 4 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 6.25 s.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" (-1.0) s.Metrics.min_v;
+  Alcotest.(check (float 1e-9)) "max" 3.5 s.Metrics.max_v;
+  (* 3.0 and 3.5 share the (2,4] bucket; 0.75 lands in (0.5,1];
+     -1.0 lands in the dedicated underflow bucket (upper bound 0). *)
+  check_bool "power-of-two bucket (2,4] holds both" true
+    (List.mem (4.0, 2) s.Metrics.buckets);
+  check_bool "bucket (0.5,1]" true (List.mem (1.0, 1) s.Metrics.buckets);
+  check_bool "underflow bucket" true (List.mem (0.0, 1) s.Metrics.buckets)
+
+let test_metrics_disabled_noop () =
+  Metrics.set_enabled false;
+  let c = Metrics.counter "test_obs.disabled_c" in
+  let h = Metrics.histogram "test_obs.disabled_h" in
+  Metrics.reset ();
+  Metrics.incr ~by:100 c;
+  Metrics.observe h 1.0;
+  check_int "counter unchanged while disabled" 0 (Metrics.counter_value c);
+  check_int "histogram unchanged while disabled" 0
+    (Metrics.histogram_stats h).Metrics.count
+
+let test_snapshot_shape () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test_obs.snap_b" in
+  let _zero = Metrics.counter "test_obs.snap_a" in
+  Metrics.incr c;
+  let snap = Metrics.snapshot () in
+  let names = List.map fst snap.Metrics.counters in
+  check_bool "zero counters included" true
+    (List.mem "test_obs.snap_a" names);
+  check_bool "counters sorted by name" true
+    (names = List.sort compare names)
+
+(* ------------------------------------------------------------------ *)
+(* Sink: JSON shapes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A syntax check that needs no JSON parser: balanced braces/brackets
+   outside string literals, and no trailing garbage. *)
+let json_balanced s =
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  let ok = ref true in
+  String.iter
+    (fun ch ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if ch = '\\' then esc := true else if ch = '"' then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_spans_jsonl_shape () =
+  with_tracing @@ fun () ->
+  Trace.with_span "root" (fun () ->
+      Trace.with_span "leaf" ~attrs:[ ("k", "v\"quoted\"") ] (fun () -> ()));
+  let buf = Buffer.create 256 in
+  Sink.spans_jsonl buf (Trace.roots ());
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "one line per span" 2 (List.length lines);
+  List.iter
+    (fun l -> check_bool "each line is balanced JSON" true (json_balanced l))
+    lines;
+  let root_line = List.nth lines 0 and leaf_line = List.nth lines 1 in
+  check_bool "root precedes its child (pre-order)" true
+    (contains ~needle:"\"path\":\"root\"" root_line);
+  check_bool "child path is slash-joined" true
+    (contains ~needle:"\"path\":\"root/leaf\"" leaf_line);
+  check_bool "attr values are escaped" true
+    (contains ~needle:"\"k\":\"v\\\"quoted\\\"\"" leaf_line);
+  List.iter
+    (fun field ->
+      check_bool (field ^ " present on every line") true
+        (List.for_all (contains ~needle:("\"" ^ field ^ "\":")) lines))
+    [ "path"; "name"; "start_s"; "duration_s"; "attrs" ]
+
+let test_snapshot_json_shape () =
+  with_metrics @@ fun () ->
+  let c = Metrics.counter "test_obs.json_c" in
+  let h = Metrics.histogram "test_obs.json_h" in
+  Metrics.incr ~by:3 c;
+  Metrics.observe h 2.0;
+  let json = Sink.snapshot_json (Metrics.snapshot ()) in
+  check_bool "balanced JSON object" true (json_balanced json);
+  check_bool "counter exported with its value" true
+    (contains ~needle:"\"test_obs.json_c\":3" json);
+  List.iter
+    (fun needle -> check_bool needle true (contains ~needle json))
+    [
+      "\"counters\":";
+      "\"gauges\":";
+      "\"histograms\":";
+      "\"test_obs.json_h\":";
+      "\"count\":1";
+      "\"buckets\":";
+    ]
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and result passthrough" `Quick
+            test_span_nesting;
+          Alcotest.test_case "timing monotonicity" `Quick
+            test_span_timing_monotonic;
+          Alcotest.test_case "attributes" `Quick test_span_attrs;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "disabled mode records nothing" `Quick
+            test_span_disabled_noop;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter arithmetic and interning" `Quick
+            test_counter_arithmetic;
+          Alcotest.test_case "kind mismatch rejected" `Quick
+            test_kind_mismatch;
+          Alcotest.test_case "gauges" `Quick test_gauge;
+          Alcotest.test_case "histogram stats and buckets" `Quick
+            test_histogram;
+          Alcotest.test_case "disabled mode records nothing" `Quick
+            test_metrics_disabled_noop;
+          Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "spans as JSON lines" `Quick
+            test_spans_jsonl_shape;
+          Alcotest.test_case "metrics snapshot as JSON" `Quick
+            test_snapshot_json_shape;
+        ] );
+    ]
