@@ -220,6 +220,11 @@ let bench_tests () =
         (Staged.stage (fun () -> Tomo.Prob_engine.solve selection obs));
       Test.make ~name:"kernel/nullspace-update-alg2"
         (Staged.stage (fun () -> Nullspace.update nsp new_row));
+      Test.make ~name:"kernel/nullspace-tracker-add"
+        (Staged.stage (fun () ->
+             (* clone + in-place add: the stateful analogue of [update] *)
+             let tr = Nullspace.tracker_of_matrix nsp in
+             Nullspace.add_row tr new_row));
       Test.make ~name:"kernel/nullspace-recompute"
         (Staged.stage (fun () -> Nullspace.basis stacked));
     ]
@@ -271,7 +276,71 @@ let run_benchmarks () =
   List.iter
     (fun (name, ns, r2) ->
       Format.fprintf ppf "%-45s%a%10.3f@." name pp_time ns r2)
-    rows
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One JSON file per bench run, BENCH_perf.json at the workspace root by
+   default (dune exec runs with the workspace root as cwd).  Override
+   the path with TOMO_BENCH_JSON; set it to the empty string to skip.
+   Schema: {"schema","scale","seed","jobs","benchmarks":[{"name",
+   "ns_per_call","r_square"}],"metrics":{counters,gauges,histograms}}
+   — the metrics object is the same shape Sink.snapshot_json writes, so
+   tooling can diff pipeline counters across commits alongside the
+   timings. *)
+let bench_json_path () =
+  match Sys.getenv_opt "TOMO_BENCH_JSON" with
+  | Some "" -> None
+  | Some p -> Some p
+  | None -> Some "BENCH_perf.json"
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
+
+let write_bench_json ~rows ~snapshot =
+  match bench_json_path () with
+  | None -> ()
+  | Some path ->
+      let b = Buffer.create 4096 in
+      Buffer.add_string b "{\n";
+      Buffer.add_string b "  \"schema\": \"tomo-bench/1\",\n";
+      Printf.bprintf b "  \"scale\": \"%s\",\n"
+        (json_escape (W.scale_to_string scale));
+      Printf.bprintf b "  \"seed\": %d,\n" seed;
+      Printf.bprintf b "  \"jobs\": %d,\n" (Tomo_par.Pool.default_jobs ());
+      Buffer.add_string b "  \"benchmarks\": [";
+      List.iteri
+        (fun i (name, ns, r2) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b
+            "\n    {\"name\": \"%s\", \"ns_per_call\": %s, \"r_square\": %s}"
+            (json_escape name) (json_float ns) (json_float r2))
+        rows;
+      Buffer.add_string b "\n  ],\n";
+      Printf.bprintf b "  \"metrics\": %s\n"
+        (Tomo_obs.Sink.snapshot_json snapshot);
+      Buffer.add_string b "}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents b);
+      close_out oc;
+      Format.fprintf ppf "@.wrote %s@." path
 
 (* When TOMO_METRICS_OUT / TOMO_TRACE are set, print the counter
    snapshot next to the Bechamel numbers (and write the JSON file via
@@ -291,7 +360,18 @@ let emit_metrics_snapshot () =
 
 let () =
   Tomo_obs.Sink.init ();
+  (* Count the pipeline work of the reproduction pass (equations formed,
+     null-space updates, CGLS iterations, pool batches) for the JSON
+     file, then restore the sink-chosen state so the Bechamel loops run
+     with exactly the instrumentation cost the sinks asked for. *)
+  let metrics_were_enabled = Tomo_obs.Metrics.enabled () in
+  Tomo_obs.Metrics.set_enabled true;
   if enabled "TOMO_BENCH_FIGURES" then reproduction_pass ();
-  if enabled "TOMO_BENCH_PERF" then run_benchmarks ();
+  let pipeline_snapshot = Tomo_obs.Metrics.snapshot () in
+  Tomo_obs.Metrics.set_enabled metrics_were_enabled;
+  let rows =
+    if enabled "TOMO_BENCH_PERF" then run_benchmarks () else []
+  in
   emit_metrics_snapshot ();
+  write_bench_json ~rows ~snapshot:pipeline_snapshot;
   Format.fprintf ppf "@.done.@."

@@ -60,6 +60,17 @@ let trace_arg =
           "Record spans and metrics while the command runs, then print \
            the span tree and a metrics table (same as TOMO_TRACE=1).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run experiment cells on $(docv) domains (default: \
+           TOMO_JOBS, or one less than the available cores). $(docv)=1 \
+           forces sequential execution; results are identical either \
+           way.")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -72,7 +83,8 @@ let metrics_out_arg =
 (* Configure the observability sinks from the CLI flags (falling back to
    the TOMO_TRACE / TOMO_METRICS_OUT environment) and flush them once
    the command is done. *)
-let with_obs trace metrics_out f =
+let with_obs jobs trace metrics_out f =
+  Option.iter Tomo_par.Pool.set_default_jobs jobs;
   Tomo_obs.Sink.init
     ?trace:(if trace then Some Tomo_obs.Sink.Trace_human else None)
     ?metrics_out ();
@@ -221,17 +233,18 @@ let all scale seed seeds csv =
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds trace mout ->
-          with_obs trace mout (fun () -> f scale seed seeds))
-      $ scale_arg $ seed_arg $ seeds_arg $ trace_arg $ metrics_out_arg)
+      const (fun scale seed seeds jobs trace mout ->
+          with_obs jobs trace mout (fun () -> f scale seed seeds))
+      $ scale_arg $ seed_arg $ seeds_arg $ jobs_arg $ trace_arg
+      $ metrics_out_arg)
 
 let cmd_csv name doc f =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds csv trace mout ->
-          with_obs trace mout (fun () -> f scale seed seeds csv))
-      $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ trace_arg
+      const (fun scale seed seeds csv jobs trace mout ->
+          with_obs jobs trace mout (fun () -> f scale seed seeds csv))
+      $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ jobs_arg $ trace_arg
       $ metrics_out_arg)
 
 let table2_cmd =

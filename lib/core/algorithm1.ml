@@ -49,9 +49,10 @@ type cand_state = {
   mutable cursor : int;
 }
 
-let materialize_candidates cfg model ~effective registry s =
-  let pool = Bitset.to_list (Subsets.candidate_paths model ~effective s) in
-  let pool = Array.of_list pool in
+(* [pool] is the variable's candidate-path pool, Paths(E) \ Paths(Ē) —
+   already computed once by the seed phase and reused here instead of
+   re-deriving it from the model. *)
+let materialize_candidates cfg model ~effective registry ~pool =
   let acc = ref [] and n = ref 0 in
   let (_ : int) =
     Combin.iter_subsets_by_size pool ~max_size:cfg.max_pathset_size
@@ -93,31 +94,36 @@ let select ?(config = default_config) model obs =
     Obs.Metrics.set_gauge g_unknowns (float_of_int n);
     if Obs.Trace.enabled () then
       Obs.Trace.add_attr "unknowns" (string_of_int n);
-    let nullspace = ref (Matrix.identity n) in
+    (* The in-place tracker replaces the functional update: no
+       [nvars × (p-1)] reallocation per accepted row, and it maintains
+       the per-variable Hamming weight the grow loop sorts by. *)
+    let tracker = Nullspace.tracker ~tol:cfg.tol n in
     let rows = ref [] in
     let try_add row =
-      match
-        Nullspace.update_incidence ~tol:cfg.tol !nullspace row.Eqn.vars
-      with
-      | None ->
-          Obs.Metrics.incr c_rows_rejected;
-          false
-      | Some n' ->
-          nullspace := n';
-          rows := row :: !rows;
-          Obs.Metrics.incr c_equations;
-          true
+      if Nullspace.add_incidence tracker row.Eqn.vars then begin
+        rows := row :: !rows;
+        Obs.Metrics.incr c_equations;
+        true
+      end
+      else begin
+        Obs.Metrics.incr c_rows_rejected;
+        false
+      end
     in
     Log.debug (fun m ->
         m "starting selection over %d unknowns (%d target subsets enumerated)"
           n (List.length targets));
-    (* Lines 1-5: seed with Paths(E) \ Paths(Ē) for every subset E. *)
+    (* Lines 1-5: seed with Paths(E) \ Paths(Ē) for every subset E.  The
+       pool is kept for the grow phase, which enumerates its subsets —
+       previously it was recomputed from the model per variable. *)
+    let seed_pools = Array.make n [||] in
     Obs.Trace.with_span "algorithm1.seed" (fun () ->
         for v = 0 to n - 1 do
           let s = Eqn.subset_of_var registry v in
           let pool = Subsets.candidate_paths model ~effective s in
           if not (Bitset.is_empty pool) then begin
             let paths = Array.of_list (Bitset.to_list pool) in
+            seed_pools.(v) <- paths;
             match Eqn.row model ~effective registry ~paths with
             | Some row -> ignore (try_add row)
             | None -> ()
@@ -127,30 +133,27 @@ let select ?(config = default_config) model obs =
     let states =
       Array.init n (fun _ -> { cands = None; cursor = 0 })
     in
-    let hamming_weight v =
-      let w = ref 0 in
-      for k = 0 to Matrix.cols !nullspace - 1 do
-        if abs_float (Matrix.get !nullspace v k) > cfg.tol then incr w
-      done;
-      !w
-    in
     let candidates_of v =
       let st = states.(v) in
       match st.cands with
       | Some c -> c
       | None ->
-          let s = Eqn.subset_of_var registry v in
-          let c = materialize_candidates cfg model ~effective registry s in
+          let c =
+            materialize_candidates cfg model ~effective registry
+              ~pool:seed_pools.(v)
+          in
           st.cands <- Some c;
           c
     in
     let continue_ = ref true in
     Obs.Trace.with_span "algorithm1.grow" (fun () ->
-    while !continue_ && Matrix.cols !nullspace > 0 do
+    while !continue_ && Nullspace.dim tracker > 0 do
       (* SortByHammingWeight: try subsets whose N-row has the most
-         non-zero entries first. *)
+         non-zero entries first.  The weights are maintained by the
+         tracker during elimination — reading them is O(n), not the
+         O(n·p) recount this loop used to pay per iteration. *)
       let order =
-        Array.init n (fun v -> (v, hamming_weight v))
+        Array.init n (fun v -> (v, Nullspace.row_weight tracker v))
       in
       Array.sort (fun (_, a) (_, b) -> compare b a) order;
       let progress = ref false in
@@ -170,15 +173,16 @@ let select ?(config = default_config) model obs =
       done;
       if not !progress then continue_ := false
     done);
-    Obs.Metrics.set_gauge g_nullity (float_of_int (Matrix.cols !nullspace));
+    let nullspace = Nullspace.to_matrix tracker in
+    Obs.Metrics.set_gauge g_nullity (float_of_int (Matrix.cols nullspace));
     let rows = Array.of_list (List.rev !rows) in
     Log.debug (fun m ->
         m
           "selection done: %d effective links, %d unknowns, %d equations, \
            nullity %d"
           (Bitset.count effective) n (Array.length rows)
-          (Matrix.cols !nullspace));
-    { model; effective; registry; rows; nullspace = !nullspace }
+          (Matrix.cols nullspace));
+    { model; effective; registry; rows; nullspace }
   end
 
 let identifiable sel v =

@@ -2,6 +2,7 @@ module Bitset = Tomo_util.Bitset
 module Scenario = Tomo_netsim.Scenario
 module Run = Tomo_netsim.Run
 module Obs = Tomo_obs
+module Pool = Tomo_par.Pool
 
 type subset_row = {
   max_subset_size : int;
@@ -17,7 +18,9 @@ let subset_size_sweep ~scale ~seed ~sizes =
     Workload.prepare
       (Workload.spec ~scale ~seed Workload.Brite Scenario.No_independence)
   in
-  List.map
+  (* Sizes share the prepared workload read-only; each cell's timing is
+     its own wall clock, so parallel rows stay meaningful per row. *)
+  Pool.map_list
     (fun size ->
       Obs.Trace.with_span "ablation.subset_size"
         ~attrs:[ ("max_subset_size", string_of_int size) ]
@@ -79,7 +82,7 @@ let probe_sweep ~scale ~seed ~budgets =
     }
   in
   ideal_row
-  :: List.map
+  :: Pool.map_list
        (fun budget ->
          Obs.Trace.with_span "ablation.probe_budget"
            ~attrs:[ ("probes_per_path", string_of_int budget) ]
@@ -145,7 +148,7 @@ let fallback_sweep ~scale ~seed =
 type interval_row = { t_intervals : int; links_mae : float }
 
 let interval_sweep ~scale ~seed ~lengths =
-  List.map
+  Pool.map_list
     (fun t ->
       Obs.Trace.with_span "ablation.interval_length"
         ~attrs:[ ("t_intervals", string_of_int t) ]

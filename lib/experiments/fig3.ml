@@ -1,6 +1,7 @@
 module Bitset = Tomo_util.Bitset
 module Scenario = Tomo_netsim.Scenario
 module Obs = Tomo_obs
+module Pool = Tomo_par.Pool
 
 type algorithm = Sparsity | Bayesian_independence | Bayesian_correlation
 
@@ -69,21 +70,24 @@ let run_cell (w : Workload.prepared) algorithm =
   let mean l = Option.value ~default:0.0 (Tomo.Metrics.mean_opt l) in
   { detection = mean !detections; false_positive = mean !false_positives }
 
+(* Scenario columns are embarrassingly parallel: each derives its own
+   Rng stream from the spec seed (Workload.prepare splits it), so the
+   pool schedule cannot change the numbers.  Cells within a scenario
+   share the prepared workload read-only. *)
 let run ~scale ~seed =
-  List.map
+  Pool.map_list
     (fun (label, spec) ->
       Obs.Trace.with_span "fig3.scenario" ~attrs:[ ("scenario", label) ]
       @@ fun () ->
       let w = Workload.prepare spec in
-      let cells = List.map (fun a -> (a, run_cell w a)) algorithms in
+      let cells = Pool.map_list (fun a -> (a, run_cell w a)) algorithms in
       { label; cells })
     (scenarios ~scale ~seed)
 
 let run_averaged ~scale ~seeds =
-  match seeds with
+  match Pool.map_list (fun seed -> run ~scale ~seed) seeds with
   | [] -> invalid_arg "Fig3.run_averaged: no seeds"
-  | first :: rest ->
-      let acc = run ~scale ~seed:first in
+  | acc :: rest ->
       let add rows rows' =
         List.map2
           (fun r r' ->
@@ -101,9 +105,9 @@ let run_averaged ~scale ~seeds =
             })
           rows rows'
       in
-      let total =
-        List.fold_left (fun acc seed -> add acc (run ~scale ~seed)) acc rest
-      in
+      (* Per-seed runs computed in parallel above; the sums fold in seed
+         order, so the average is bit-identical to the sequential one. *)
+      let total = List.fold_left add acc rest in
       let n = float_of_int (List.length seeds) in
       List.map
         (fun r ->

@@ -3,6 +3,7 @@ module Stats = Tomo_util.Stats
 module Scenario = Tomo_netsim.Scenario
 module Run = Tomo_netsim.Run
 module Obs = Tomo_obs
+module Pool = Tomo_par.Pool
 
 type algorithm = Independence | Correlation_heuristic | Correlation_complete
 
@@ -55,14 +56,17 @@ let mean_link_error w r =
 
 type mae_row = { label : string; cells : (algorithm * float) list }
 
+(* Parallel over scenario columns, then over algorithm cells within one:
+   every cell re-derives its randomness from the spec seed, so the
+   schedule cannot perturb the figure. *)
 let run_mae ~topology ~scale ~seed =
-  List.map
+  Pool.map_list
     (fun (label, spec) ->
       Obs.Trace.with_span "fig4.scenario" ~attrs:[ ("scenario", label) ]
       @@ fun () ->
       let w = Workload.prepare spec in
       let cells =
-        List.map
+        Pool.map_list
           (fun a ->
             let r, _ = run_pc w a in
             (a, mean_link_error w r))
@@ -72,9 +76,9 @@ let run_mae ~topology ~scale ~seed =
     (scenarios ~topology ~scale ~seed)
 
 let run_mae_averaged ~topology ~scale ~seeds =
-  match seeds with
+  match Pool.map_list (fun seed -> run_mae ~topology ~scale ~seed) seeds with
   | [] -> invalid_arg "Fig4.run_mae_averaged: no seeds"
-  | first :: rest ->
+  | acc :: rest ->
       let add rows rows' =
         List.map2
           (fun r r' ->
@@ -87,12 +91,8 @@ let run_mae_averaged ~topology ~scale ~seeds =
             })
           rows rows'
       in
-      let total =
-        List.fold_left
-          (fun acc seed -> add acc (run_mae ~topology ~scale ~seed))
-          (run_mae ~topology ~scale ~seed:first)
-          rest
-      in
+      (* Sums fold in seed order: bit-identical to the sequential run. *)
+      let total = List.fold_left add acc rest in
       let n = float_of_int (List.length seeds) in
       List.map
         (fun r ->
@@ -106,7 +106,7 @@ let run_cdf ~scale ~seed ~steps =
       Scenario.No_independence
   in
   let w = Workload.prepare spec in
-  List.map
+  Pool.map_list
     (fun a ->
       let r, _ = run_pc w a in
       let errs = link_errors w r in
@@ -146,7 +146,7 @@ let score_subsets (w : Workload.prepared) engine =
   !errs
 
 let run_subsets ~scale ~seed =
-  List.map
+  Pool.map_list
     (fun topology ->
       Obs.Trace.with_span "fig4.subsets"
         ~attrs:[ ("topology", Workload.topology_to_string topology) ]

@@ -4,6 +4,24 @@ let c_solves = Obs.Metrics.counter "cgls_solves"
 let c_iterations = Obs.Metrics.counter "cgls_iterations"
 let h_residual = Obs.Metrics.histogram "cgls_final_residual"
 
+(* Per-domain scratch vectors, grown on demand and reused across solves:
+   the experiment harness calls [solve] once per probability computation
+   and previously allocated the four CG work vectors every time.  The
+   buffers may be longer than the live prefix, so every loop below runs
+   over explicit [m] / [n_vars] bounds.  Domain-local storage keeps
+   parallel solves (tomo_par) from sharing a buffer. *)
+type scratch = {
+  mutable sr : float array; (* residual, length >= m *)
+  mutable ss : float array; (* normal-equation residual, length >= n_vars *)
+  mutable sp : float array; (* search direction, length >= n_vars *)
+  mutable sq : float array; (* A·p, length >= m *)
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { sr = [||]; ss = [||]; sp = [||]; sq = [||] })
+
+let ensure a n = if Array.length a >= n then a else Array.make n 0.0
+
 let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
   let m = Array.length rows in
   if Array.length b <> m then invalid_arg "Cgls.solve: size mismatch";
@@ -19,35 +37,44 @@ let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
   if m = 0 || n_vars = 0 then x
   else Obs.Trace.with_span "cgls.solve" @@ fun () ->
   begin
+    let ws = Domain.DLS.get scratch_key in
+    ws.sr <- ensure ws.sr m;
+    ws.ss <- ensure ws.ss n_vars;
+    ws.sp <- ensure ws.sp n_vars;
+    ws.sq <- ensure ws.sq m;
+    let r = ws.sr and s = ws.ss and p = ws.sp and q = ws.sq in
     (* A·v for incidence rows: per-row sum of selected coordinates. *)
     let apply_a v out =
-      Array.iteri
-        (fun i row ->
-          let acc = ref 0.0 in
-          Array.iter (fun j -> acc := !acc +. v.(j)) row;
-          out.(i) <- !acc)
-        rows
+      for i = 0 to m - 1 do
+        let row = Array.unsafe_get rows i in
+        let acc = ref 0.0 in
+        Array.iter (fun j -> acc := !acc +. Array.unsafe_get v j) row;
+        Array.unsafe_set out i !acc
+      done
     in
     (* Aᵀ·w: scatter row values onto their variables. *)
     let apply_at w out =
       Array.fill out 0 n_vars 0.0;
-      Array.iteri
-        (fun i row ->
-          let wi = w.(i) in
-          if wi <> 0.0 then Array.iter (fun j -> out.(j) <- out.(j) +. wi) row)
-        rows
+      for i = 0 to m - 1 do
+        let wi = Array.unsafe_get w i in
+        if wi <> 0.0 then
+          Array.iter
+            (fun j ->
+              Array.unsafe_set out j (Array.unsafe_get out j +. wi))
+            (Array.unsafe_get rows i)
+      done
     in
-    let dot a b =
+    let dot a b n =
       let acc = ref 0.0 in
-      Array.iteri (fun i ai -> acc := !acc +. (ai *. b.(i))) a;
+      for i = 0 to n - 1 do
+        acc := !acc +. (Array.unsafe_get a i *. Array.unsafe_get b i)
+      done;
       !acc
     in
-    let r = Array.copy b in
-    let s = Array.make n_vars 0.0 in
+    Array.blit b 0 r 0 m;
     apply_at r s;
-    let p = Array.copy s in
-    let q = Array.make m 0.0 in
-    let gamma = ref (dot s s) in
+    Array.blit s 0 p 0 n_vars;
+    let gamma = ref (dot s s n_vars) in
     let target = tol *. sqrt !gamma in
     let iters = ref 0 in
     (try
@@ -55,22 +82,31 @@ let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
          if sqrt !gamma <= target || !gamma = 0.0 then raise Exit;
          incr iters;
          apply_a p q;
-         let qq = dot q q in
+         let qq = dot q q m in
          if qq <= 0.0 then raise Exit;
          let alpha = !gamma /. qq in
-         Array.iteri (fun j pj -> x.(j) <- x.(j) +. (alpha *. pj)) p;
-         Array.iteri (fun i qi -> r.(i) <- r.(i) -. (alpha *. qi)) q;
+         for j = 0 to n_vars - 1 do
+           Array.unsafe_set x j
+             (Array.unsafe_get x j +. (alpha *. Array.unsafe_get p j))
+         done;
+         for i = 0 to m - 1 do
+           Array.unsafe_set r i
+             (Array.unsafe_get r i -. (alpha *. Array.unsafe_get q i))
+         done;
          apply_at r s;
-         let gamma' = dot s s in
+         let gamma' = dot s s n_vars in
          let beta = gamma' /. !gamma in
-         Array.iteri (fun j sj -> p.(j) <- sj +. (beta *. p.(j))) s;
+         for j = 0 to n_vars - 1 do
+           Array.unsafe_set p j
+             (Array.unsafe_get s j +. (beta *. Array.unsafe_get p j))
+         done;
          gamma := gamma'
        done
      with Exit -> ());
     Obs.Metrics.incr c_solves;
     Obs.Metrics.incr ~by:!iters c_iterations;
     if Obs.Metrics.enabled () then begin
-      Obs.Metrics.observe h_residual (sqrt (dot r r));
+      Obs.Metrics.observe h_residual (sqrt (dot r r m));
       Obs.Trace.add_attr "iterations" (string_of_int !iters)
     end;
     x

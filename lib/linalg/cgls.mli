@@ -6,7 +6,13 @@
     [min ‖A·x − b‖₂] for such systems without ever materializing [A];
     started from [x = 0] it converges to the *minimum-norm* least-squares
     solution, whose identifiable coordinates (decided separately via
-    {!Nullspace}) equal those of every other minimizer. *)
+    {!Nullspace}) equal those of every other minimizer.
+
+    The four CG work vectors are preallocated per domain and reused
+    across calls (only the returned solution is freshly allocated), so
+    repeated solves — one per probability computation in the experiment
+    harness — do not churn the allocator, and concurrent solves from
+    tomo_par workers each use their own scratch. *)
 
 (** [solve ~n_vars ~rows ~b ?max_iter ?tol ()] where [rows.(i)] lists the
     variable indices of equation [i] (coefficient 1 each) and [b.(i)] its

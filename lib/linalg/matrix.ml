@@ -42,6 +42,9 @@ let set m i j x =
   check m i j;
   m.data.((i * m.c) + j) <- x
 
+let unsafe_get m i j = Array.unsafe_get m.data ((i * m.c) + j)
+let unsafe_set m i j x = Array.unsafe_set m.data ((i * m.c) + j) x
+
 let copy m = { m with data = Array.copy m.data }
 
 let row m i =

@@ -34,6 +34,14 @@ val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
 
+(** [unsafe_get m i j] / [unsafe_set m i j x]: element access with no
+    bounds check, for inner-loop kernels whose indices are validated
+    once outside the loop (e.g. {!Nullspace}).  Out-of-range indices are
+    undefined behaviour. *)
+val unsafe_get : t -> int -> int -> float
+
+val unsafe_set : t -> int -> int -> float -> unit
+
 (** [copy m] is a deep copy. *)
 val copy : t -> t
 

@@ -55,6 +55,52 @@ let reduces_rank ?(tol = default_tol) n r =
     let v = row_dot_cols n r in
     Array.exists (fun x -> abs_float x > tol) v
 
+(* Pivot selection shared by every update variant: the index of the
+   largest |v.(k)| over v.(0..p-1), or None when that maximum is within
+   [tol] of zero (the row is dependent; the counters are bumped here so
+   the callers stay branch-free). *)
+let pick_pivot ~tol v p =
+  let j = ref 0 in
+  for k = 1 to p - 1 do
+    if abs_float v.(k) > abs_float v.(!j) then j := k
+  done;
+  if abs_float v.(!j) <= tol then begin
+    Obs.Metrics.incr c_rejections;
+    None
+  end
+  else begin
+    Obs.Metrics.incr c_incremental;
+    Some !j
+  end
+
+(* The column-elimination kernel behind [update] and [update_incidence]:
+   project every non-pivot column of [n] against the pivot column [j]
+   and write the result straight into a fresh [nvars × (p-1)] matrix.
+   Reads the pivot column in place — no [Matrix.col] scratch vector —
+   and skips the inner loop entirely when a coefficient is zero (an
+   incidence row misses most columns). *)
+let eliminate_matrix n v j =
+  let nvars = Matrix.rows n and p = Matrix.cols n in
+  let pivot = v.(j) in
+  let out = Matrix.make nvars (p - 1) 0.0 in
+  let dst = ref 0 in
+  for k = 0 to p - 1 do
+    if k <> j then begin
+      let coeff = v.(k) /. pivot in
+      if coeff = 0.0 then
+        for i = 0 to nvars - 1 do
+          Matrix.unsafe_set out i !dst (Matrix.unsafe_get n i k)
+        done
+      else
+        for i = 0 to nvars - 1 do
+          Matrix.unsafe_set out i !dst
+            (Matrix.unsafe_get n i k -. (coeff *. Matrix.unsafe_get n i j))
+        done;
+      incr dst
+    end
+  done;
+  out
+
 let update_incidence ?(tol = default_tol) n idxs =
   let nvars = Matrix.rows n and p = Matrix.cols n in
   Array.iter
@@ -70,34 +116,12 @@ let update_incidence ?(tol = default_tol) n idxs =
     Array.iter
       (fun i ->
         for k = 0 to p - 1 do
-          v.(k) <- v.(k) +. Matrix.get n i k
+          v.(k) <- v.(k) +. Matrix.unsafe_get n i k
         done)
       idxs;
-    let j = ref 0 in
-    for k = 1 to p - 1 do
-      if abs_float v.(k) > abs_float v.(!j) then j := k
-    done;
-    if abs_float v.(!j) <= tol then begin
-      Obs.Metrics.incr c_rejections;
-      None
-    end
-    else begin
-      Obs.Metrics.incr c_incremental;
-      let pivot = v.(!j) in
-      let nj = Matrix.col n !j in
-      let out = Matrix.make nvars (p - 1) 0.0 in
-      let dst = ref 0 in
-      for k = 0 to p - 1 do
-        if k <> !j then begin
-          let coeff = v.(k) /. pivot in
-          for i = 0 to nvars - 1 do
-            Matrix.set out i !dst (Matrix.get n i k -. (coeff *. nj.(i)))
-          done;
-          incr dst
-        end
-      done;
-      Some out
-    end
+    match pick_pivot ~tol v p with
+    | None -> None
+    | Some j -> Some (eliminate_matrix n v j)
   end
 
 let update ?(tol = default_tol) n r =
@@ -106,30 +130,142 @@ let update ?(tol = default_tol) n r =
   if p = 0 then n
   else begin
     let v = row_dot_cols n r in
-    (* Pivot on the column with the largest |r · N_j|. *)
-    let j = ref 0 in
-    for k = 1 to p - 1 do
-      if abs_float v.(k) > abs_float v.(!j) then j := k
-    done;
-    if abs_float v.(!j) <= tol then begin
-      Obs.Metrics.incr c_rejections;
-      n
-    end
-    else begin
-      Obs.Metrics.incr c_incremental;
-      let pivot = v.(!j) in
-      let nj = Matrix.col n !j in
-      let out = Matrix.make nvars (p - 1) 0.0 in
-      let dst = ref 0 in
-      for k = 0 to p - 1 do
-        if k <> !j then begin
-          let coeff = v.(k) /. pivot in
-          for i = 0 to nvars - 1 do
-            Matrix.set out i !dst (Matrix.get n i k -. (coeff *. nj.(i)))
-          done;
-          incr dst
-        end
-      done;
-      out
-    end
+    match pick_pivot ~tol v p with
+    | None -> n
+    | Some j -> eliminate_matrix n v j
   end
+
+(* ------------------------------------------------------------------ *)
+(* In-place tracker                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Algorithm 1 feeds thousands of candidate rows through the update; the
+   functional API above allocates an [nvars × (p-1)] matrix per accepted
+   row (and a scratch pivot column per call).  The tracker instead keeps
+   the basis as [p] column vectors and eliminates in place: an accepted
+   row costs one pass over the touched columns and zero allocation, and
+   a per-variable non-zero count (the Hamming weight Algorithm 1 sorts
+   by) is maintained incrementally during the same pass. *)
+type tracker = {
+  nvars : int;
+  tol : float;
+  mutable p : int;
+  cols : float array array; (* cols.(0..p-1), each of length nvars *)
+  v : float array; (* scratch for r · N, length nvars *)
+  weights : int array; (* weights.(i) = #{k | |cols.(k).(i)| > tol} *)
+}
+
+let tracker ?(tol = default_tol) nvars =
+  if nvars < 0 then invalid_arg "Nullspace.tracker: negative dimension";
+  {
+    nvars;
+    tol;
+    p = nvars;
+    cols = Array.init nvars (fun k ->
+        let c = Array.make nvars 0.0 in
+        c.(k) <- 1.0;
+        c);
+    v = Array.make nvars 0.0;
+    weights = Array.make nvars (if 1.0 > tol then 1 else 0);
+  }
+
+let tracker_of_matrix ?(tol = default_tol) m =
+  let nvars = Matrix.rows m and p = Matrix.cols m in
+  let cols = Array.init p (fun k -> Array.init nvars (fun i -> Matrix.get m i k)) in
+  let weights = Array.make nvars 0 in
+  for i = 0 to nvars - 1 do
+    let w = ref 0 in
+    for k = 0 to p - 1 do
+      if abs_float cols.(k).(i) > tol then incr w
+    done;
+    weights.(i) <- !w
+  done;
+  { nvars; tol; p; cols; v = Array.make (max 1 p) 0.0; weights }
+
+let dim t = t.p
+let row_weight t i = t.weights.(i)
+
+(* Shared in-place elimination: [t.v.(0..p-1)] holds r · N.  Consumes
+   the pivot column, projects the others in place, and keeps [weights]
+   current by watching each element cross the tolerance threshold. *)
+let eliminate_in_place t j =
+  let p = t.p and nvars = t.nvars and tol = t.tol in
+  let v = t.v in
+  let pivot = v.(j) in
+  let nj = t.cols.(j) in
+  for i = 0 to nvars - 1 do
+    if abs_float (Array.unsafe_get nj i) > tol then
+      t.weights.(i) <- t.weights.(i) - 1
+  done;
+  for k = 0 to p - 1 do
+    if k <> j then begin
+      let coeff = Array.unsafe_get v k /. pivot in
+      if coeff <> 0.0 then begin
+        let ck = t.cols.(k) in
+        for i = 0 to nvars - 1 do
+          let old_v = Array.unsafe_get ck i in
+          let new_v = old_v -. (coeff *. Array.unsafe_get nj i) in
+          Array.unsafe_set ck i new_v;
+          let was_nz = abs_float old_v > tol
+          and is_nz = abs_float new_v > tol in
+          if was_nz && not is_nz then t.weights.(i) <- t.weights.(i) - 1
+          else if is_nz && not was_nz then t.weights.(i) <- t.weights.(i) + 1
+        done
+      end
+    end
+  done;
+  (* Drop the consumed pivot column, preserving the order of the rest
+     (the functional API keeps order too, so both paths yield the same
+     basis).  The freed buffer parks at the tail for potential reuse. *)
+  for k = j to p - 2 do
+    t.cols.(k) <- t.cols.(k + 1)
+  done;
+  t.cols.(p - 1) <- nj;
+  t.p <- p - 1
+
+let add_incidence t idxs =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= t.nvars then
+        invalid_arg "Nullspace.add_incidence: index out of range")
+    idxs;
+  let p = t.p in
+  if p = 0 then false
+  else begin
+    let v = t.v in
+    Array.fill v 0 p 0.0;
+    Array.iter
+      (fun i ->
+        for k = 0 to p - 1 do
+          v.(k) <- v.(k) +. Array.unsafe_get t.cols.(k) i
+        done)
+      idxs;
+    match pick_pivot ~tol:t.tol v p with
+    | None -> false
+    | Some j ->
+        eliminate_in_place t j;
+        true
+  end
+
+let add_row t r =
+  if Array.length r <> t.nvars then invalid_arg "Nullspace.add_row: bad row";
+  let p = t.p in
+  if p = 0 then false
+  else begin
+    let v = t.v in
+    for k = 0 to p - 1 do
+      let ck = t.cols.(k) in
+      let acc = ref 0.0 in
+      for i = 0 to t.nvars - 1 do
+        acc := !acc +. (Array.unsafe_get r i *. Array.unsafe_get ck i)
+      done;
+      v.(k) <- !acc
+    done;
+    match pick_pivot ~tol:t.tol v p with
+    | None -> false
+    | Some j ->
+        eliminate_in_place t j;
+        true
+  end
+
+let to_matrix t = Matrix.init t.nvars t.p (fun i k -> t.cols.(k).(i))

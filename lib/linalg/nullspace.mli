@@ -47,3 +47,45 @@ val update : ?tol:float -> Matrix.t -> float array -> Matrix.t
     The dependence test costs [O(|idxs| · p)] instead of [O(n · p)]. *)
 val update_incidence :
   ?tol:float -> Matrix.t -> int array -> Matrix.t option
+
+(** {1 In-place tracker}
+
+    The functional updates above allocate an [nvars × (p-1)] matrix per
+    accepted row.  Algorithm 1 accepts hundreds of rows per selection,
+    so its hot loop uses this stateful variant instead: the basis lives
+    as [p] column vectors, an accepted row eliminates in place (zero
+    allocation), and the per-variable non-zero count the selection loop
+    sorts by (its Hamming weight) is maintained incrementally during the
+    same elimination pass.  Both representations perform the identical
+    sequence of floating-point operations, so a tracker fed row by row
+    yields bitwise the same basis as folding {!update} /
+    {!update_incidence}. *)
+
+type tracker
+
+(** [tracker ?tol n] starts from the identity basis: the null space of
+    the empty system over [n] variables. *)
+val tracker : ?tol:float -> int -> tracker
+
+(** [tracker_of_matrix ?tol m] adopts the columns of [m] ([nvars × p])
+    as the starting basis. *)
+val tracker_of_matrix : ?tol:float -> Matrix.t -> tracker
+
+(** Current nullity [p]. *)
+val dim : tracker -> int
+
+(** [row_weight t i] is the number of basis columns whose [i]-th entry
+    exceeds the tolerance — Algorithm 1's SortByHammingWeight key —
+    maintained incrementally, O(1) to read. *)
+val row_weight : tracker -> int -> int
+
+(** [add_incidence t idxs] applies Algorithm 2 in place for an incidence
+    row.  [true] if the row was independent (nullity shrank by one),
+    [false] if it was rejected as dependent. *)
+val add_incidence : tracker -> int array -> bool
+
+(** [add_row t r] is {!add_incidence} for an arbitrary dense row. *)
+val add_row : tracker -> float array -> bool
+
+(** Snapshot the current basis as an [nvars × p] matrix. *)
+val to_matrix : tracker -> Matrix.t

@@ -1,5 +1,10 @@
-type counter = { mutable c : int }
+(* Counters are lock-free atomics so parallel experiment tasks (see
+   tomo_par) can record without contention; gauges and histograms are
+   multi-word and take [lock] instead — they sit off the hot paths. *)
+type counter = int Atomic.t
 type gauge = { mutable g : float; mutable g_set : bool }
+
+let lock = Mutex.create ()
 
 (* Log-scale buckets: slot [i] has upper bound 2^(i - underflow_slots);
    slot 0 is the underflow bucket for values <= 0. *)
@@ -22,12 +27,17 @@ let set_enabled b = enabled_flag := b
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
 
 let register name make describe =
-  match Hashtbl.find_opt registry name with
-  | Some i -> describe i
-  | None ->
-      let i = make () in
-      Hashtbl.add registry name i;
-      describe i
+  Mutex.lock lock;
+  let i =
+    match Hashtbl.find_opt registry name with
+    | Some i -> i
+    | None ->
+        let i = make () in
+        Hashtbl.add registry name i;
+        i
+  in
+  Mutex.unlock lock;
+  describe i
 
 let kind_error name =
   invalid_arg
@@ -35,11 +45,13 @@ let kind_error name =
 
 let counter name =
   register name
-    (fun () -> C { c = 0 })
+    (fun () -> C (Atomic.make 0))
     (function C c -> c | _ -> kind_error name)
 
-let incr ?(by = 1) c = if !enabled_flag then c.c <- c.c + by
-let counter_value c = c.c
+let incr ?(by = 1) c =
+  if !enabled_flag then ignore (Atomic.fetch_and_add c by : int)
+
+let counter_value c = Atomic.get c
 
 let gauge name =
   register name
@@ -48,8 +60,10 @@ let gauge name =
 
 let set_gauge g v =
   if !enabled_flag then begin
+    Mutex.lock lock;
     g.g <- v;
-    g.g_set <- true
+    g.g_set <- true;
+    Mutex.unlock lock
   end
 
 let gauge_value g = if g.g_set then Some g.g else None
@@ -80,11 +94,13 @@ let slot_upper i =
 let observe h v =
   if !enabled_flag then begin
     let s = slot_of v in
+    Mutex.lock lock;
     h.slots.(s) <- h.slots.(s) + 1;
     h.h_count <- h.h_count + 1;
     h.h_sum <- h.h_sum +. v;
     if v < h.h_min then h.h_min <- v;
-    if v > h.h_max then h.h_max <- v
+    if v > h.h_max then h.h_max <- v;
+    Mutex.unlock lock
   end
 
 type histogram_stats = {
@@ -116,12 +132,14 @@ type snapshot = {
 
 let snapshot () =
   let cs = ref [] and gs = ref [] and hs = ref [] in
+  Mutex.lock lock;
   Hashtbl.iter
     (fun name -> function
-      | C c -> cs := (name, c.c) :: !cs
+      | C c -> cs := (name, Atomic.get c) :: !cs
       | G g -> if g.g_set then gs := (name, g.g) :: !gs
       | H h -> hs := (name, histogram_stats h) :: !hs)
     registry;
+  Mutex.unlock lock;
   let by_name (a, _) (b, _) = String.compare a b in
   {
     counters = List.sort by_name !cs;
@@ -130,9 +148,10 @@ let snapshot () =
   }
 
 let reset () =
+  Mutex.lock lock;
   Hashtbl.iter
     (fun _ -> function
-      | C c -> c.c <- 0
+      | C c -> Atomic.set c 0
       | G g ->
           g.g <- 0.0;
           g.g_set <- false
@@ -142,4 +161,5 @@ let reset () =
           h.h_sum <- 0.0;
           h.h_min <- infinity;
           h.h_max <- neg_infinity)
-    registry
+    registry;
+  Mutex.unlock lock

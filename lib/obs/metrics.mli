@@ -12,7 +12,12 @@
     lookup (handles hold their cells directly).  Enable with
     [set_enabled] (done by {!Sink.init} when a metrics sink is
     configured).  Reads ([counter_value], [snapshot], …) work regardless
-    of the enabled flag. *)
+    of the enabled flag.
+
+    All recording operations are safe to call from multiple domains
+    (tomo_par workers record into the same registry): counters are
+    lock-free atomics; gauges, histograms and registration take a short
+    internal lock. *)
 
 type counter
 type gauge

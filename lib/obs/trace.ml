@@ -15,14 +15,23 @@ type open_span = {
 }
 
 let enabled_flag = ref false
-let stack : open_span list ref = ref []
+
+(* Each domain keeps its own open-span stack (tomo_par workers trace
+   their tasks as independent roots); completed roots merge into one
+   process-global list under [fin_lock]. *)
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let fin_lock = Mutex.create ()
 let finished : span list ref = ref [] (* completed roots, newest first *)
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
 let reset () =
-  stack := [];
-  finished := []
+  Domain.DLS.get stack_key := [];
+  Mutex.lock fin_lock;
+  finished := [];
+  Mutex.unlock fin_lock
 
 let now () = Unix.gettimeofday ()
 
@@ -38,6 +47,7 @@ let close o =
 let with_span ?attrs name f =
   if not !enabled_flag then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     let o =
       {
         o_name = name;
@@ -58,7 +68,10 @@ let with_span ?attrs name f =
       let s = close o in
       match !stack with
       | parent :: _ -> parent.o_children <- s :: parent.o_children
-      | [] -> finished := s :: !finished
+      | [] ->
+          Mutex.lock fin_lock;
+          finished := s :: !finished;
+          Mutex.unlock fin_lock
     in
     match f () with
     | v ->
@@ -71,8 +84,12 @@ let with_span ?attrs name f =
 
 let add_attr k v =
   if !enabled_flag then
-    match !stack with
+    match !(Domain.DLS.get stack_key) with
     | o :: _ -> o.o_attrs <- (k, v) :: o.o_attrs
     | [] -> ()
 
-let roots () = List.rev !finished
+let roots () =
+  Mutex.lock fin_lock;
+  let r = List.rev !finished in
+  Mutex.unlock fin_lock;
+  r

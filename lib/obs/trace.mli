@@ -16,8 +16,12 @@
     allocation.  Enable it with [set_enabled] (done by {!Sink.init} when
     [TOMO_TRACE] or [--trace] asks for it).
 
-    The span stack is per-process (the whole pipeline is sequential);
-    spans from concurrent domains would interleave arbitrarily. *)
+    The open-span stack is per-{e domain} (domain-local storage): a task
+    running on a tomo_par worker traces as its own root tree, never
+    corrupting another domain's stack.  Completed roots from every
+    domain merge into one process-global list, so [roots ()] sees the
+    whole program; with parallelism enabled their relative order follows
+    completion time rather than submission order. *)
 
 type span = {
   name : string;

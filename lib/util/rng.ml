@@ -2,12 +2,30 @@ type t = { state : Random.State.t; seed : int }
 
 let create seed = { state = Random.State.make [| seed; 0x746f6d6f |]; seed }
 
+(* The splitmix64 finalizer: a full-avalanche 64-bit mix, so every bit
+   of the input affects every bit of the output.  Hashtbl.hash (the
+   previous implementation) truncates to ~30 bits and collides across
+   thousands of parallel task labels; two colliding children would share
+   an entire random stream. *)
+let splitmix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* FNV-1a over the label bytes: cheap, order-sensitive, no truncation. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
 let split t ~label =
-  let h = Hashtbl.hash (t.seed, label) in
-  (* Mix the label hash with the parent seed through a second hash round so
-     that children of adjacent seeds do not share low bits. *)
-  let mixed = Hashtbl.hash (h, t.seed lxor 0x9e3779b9) in
-  create ((h * 65599) lxor mixed)
+  let z = splitmix64 (Int64.add (Int64.of_int t.seed) 0x9e3779b97f4a7c15L) in
+  let mixed = splitmix64 (Int64.logxor z (fnv1a64 label)) in
+  create (Int64.to_int mixed land max_int)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: non-positive bound";

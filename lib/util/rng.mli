@@ -15,7 +15,11 @@ val create : int -> t
 
 (** [split t ~label] derives a child generator from [t]'s seed and
     [label].  The same [(seed, label)] pair always yields the same child;
-    different labels yield independent streams. *)
+    different labels yield independent streams.  The child seed is
+    produced by a full-width splitmix64-style finalizer over the parent
+    seed and an FNV-1a hash of the label, so thousands of parallel task
+    labels (one per scenario cell or averaged seed) do not collide the
+    way a truncated [Hashtbl.hash] would. *)
 val split : t -> label:string -> t
 
 (** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if

@@ -1,0 +1,264 @@
+(* Tests for the domain pool: combinator laws (order, exceptions,
+   nesting), determinism of the parallel experiment harness (bit-equal
+   to the sequential run), and equivalence of the in-place null-space
+   tracker with the functional Algorithm-2 update it replaced. *)
+
+module Pool = Tomo_par.Pool
+module Matrix = Tomo_linalg.Matrix
+module Nullspace = Tomo_linalg.Nullspace
+module Rng = Tomo_util.Rng
+module W = Tomo_experiments.Workload
+module Fig3 = Tomo_experiments.Fig3
+module Fig4 = Tomo_experiments.Fig4
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_pool jobs f =
+  let pool = Pool.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Pool laws                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_map_order () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs @@ fun pool ->
+      List.iter
+        (fun n ->
+          let xs = Array.init n (fun i -> i) in
+          let ys = Pool.parallel_map ~pool (fun i -> (3 * i) + 1) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d n=%d" jobs n)
+            (Array.map (fun i -> (3 * i) + 1) xs)
+            ys)
+        [ 0; 1; 2; 7; 100 ])
+    [ 1; 2; 4 ]
+
+let test_map_matches_sequential_shuffle () =
+  (* Uneven task durations force out-of-order completion; slots must
+     still come back in input order. *)
+  with_pool 4 @@ fun pool ->
+  let xs = Array.init 64 (fun i -> i) in
+  let ys =
+    Pool.parallel_map ~pool
+      (fun i ->
+        if i land 3 = 0 then begin
+          (* a little busy work to skew completion order *)
+          let acc = ref 0 in
+          for k = 0 to 20_000 do
+            acc := !acc + (k lxor i)
+          done;
+          ignore !acc
+        end;
+        i * i)
+      xs
+  in
+  Alcotest.(check (array int)) "squares" (Array.map (fun i -> i * i) xs) ys
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      with_pool jobs @@ fun pool ->
+      let raised =
+        try
+          ignore
+            (Pool.parallel_map ~pool
+               (fun i -> if i = 13 then raise (Boom i) else i)
+               (Array.init 40 (fun i -> i)));
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (Some 13) raised)
+    [ 1; 4 ]
+
+let test_pool_usable_after_exception () =
+  with_pool 4 @@ fun pool ->
+  (try
+     Pool.parallel_iter ~pool
+       (fun i -> if i = 2 then failwith "boom")
+       (Array.init 8 (fun i -> i))
+   with Failure _ -> ());
+  let ys = Pool.parallel_map ~pool succ (Array.init 8 (fun i -> i)) in
+  Alcotest.(check (array int)) "still works"
+    (Array.init 8 (fun i -> i + 1))
+    ys
+
+let test_nested_map () =
+  (* Each outer task runs an inner parallel_map on the same pool; the
+     caller-participation design means this must not deadlock. *)
+  with_pool 3 @@ fun pool ->
+  let ys =
+    Pool.parallel_map ~pool
+      (fun i ->
+        let inner =
+          Pool.parallel_map ~pool (fun j -> i + j) (Array.init 10 (fun j -> j))
+        in
+        Array.fold_left ( + ) 0 inner)
+      (Array.init 12 (fun i -> i))
+  in
+  Alcotest.(check (array int))
+    "nested sums"
+    (Array.init 12 (fun i -> (10 * i) + 45))
+    ys
+
+let test_iter_runs_all () =
+  with_pool 4 @@ fun pool ->
+  let n = 200 in
+  let cells = Array.init n (fun _ -> Atomic.make 0) in
+  Pool.parallel_iter ~pool
+    (fun i -> Atomic.incr cells.(i))
+    (Array.init n (fun i -> i));
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "cell %d" i) 1 (Atomic.get c))
+    cells
+
+let test_jobs_clamped () =
+  with_pool 0 @@ fun pool ->
+  check_int "jobs >= 1" 1 (Pool.jobs pool);
+  let ys = Pool.parallel_map ~pool succ [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "sequential fallback" [| 2; 3; 4 |] ys
+
+let test_shutdown_rejects () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.parallel_map: pool is shut down") (fun () ->
+      ignore (Pool.parallel_map ~pool succ [| 1; 2 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: parallel experiments == sequential experiments         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig3_bit_identical () =
+  Pool.set_default_jobs 1;
+  let seq = Fig3.run_averaged ~scale:W.Small ~seeds:[ 3; 4 ] in
+  Pool.set_default_jobs 4;
+  let par = Fig3.run_averaged ~scale:W.Small ~seeds:[ 3; 4 ] in
+  Pool.set_default_jobs 1;
+  (* Structural equality on floats: bit-identical, not approximately. *)
+  check_bool "fig3 -j1 == -j4" true (seq = par)
+
+let test_fig4a_bit_identical () =
+  Pool.set_default_jobs 1;
+  let seq = Fig4.run_mae_averaged ~topology:W.Brite ~scale:W.Small ~seeds:[ 5 ] in
+  Pool.set_default_jobs 4;
+  let par = Fig4.run_mae_averaged ~topology:W.Brite ~scale:W.Small ~seeds:[ 5 ] in
+  Pool.set_default_jobs 1;
+  check_bool "fig4a -j1 == -j4" true (seq = par)
+
+(* ------------------------------------------------------------------ *)
+(* Tracker == functional null-space update                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_01_row rng n p = Array.init n (fun _ -> if Rng.bool rng ~p then 1.0 else 0.0)
+
+let matrices_equal a b =
+  Matrix.rows a = Matrix.rows b
+  && Matrix.cols a = Matrix.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Matrix.rows a - 1 do
+    for j = 0 to Matrix.cols a - 1 do
+      if Matrix.get a i j <> Matrix.get b i j then ok := false
+    done
+  done;
+  !ok
+
+(* Feed the same random 0/1 rows to (a) the functional [update] chain
+   and (b) the in-place tracker; they must agree exactly — same accept/
+   reject verdicts, same basis matrix bit for bit, same weights. *)
+let prop_tracker_equals_update (seed, n, rows) =
+  let rng = Rng.create seed in
+  let tracker = Nullspace.tracker n in
+  let basis = ref (Matrix.identity n) in
+  let ok = ref true in
+  for _ = 1 to rows do
+    let row = random_01_row rng n 0.35 in
+    let before = Matrix.cols !basis in
+    let updated = Nullspace.update !basis row in
+    let accepted_fn = Matrix.cols updated < before in
+    basis := updated;
+    let accepted_tr = Nullspace.add_row tracker row in
+    if accepted_fn <> accepted_tr then ok := false
+  done;
+  let m = Nullspace.to_matrix tracker in
+  if not (matrices_equal m !basis) then ok := false;
+  (* weights must match a recount of the final basis *)
+  for v = 0 to n - 1 do
+    let w = ref 0 in
+    for j = 0 to Matrix.cols m - 1 do
+      if abs_float (Matrix.get m v j) > 1e-8 then incr w
+    done;
+    if !w <> Nullspace.row_weight tracker v then ok := false
+  done;
+  Nullspace.dim tracker = Matrix.cols !basis && !ok
+
+let tracker_qcheck =
+  QCheck.Test.make ~count:60 ~name:"tracker == functional update"
+    QCheck.(
+      triple (int_range 0 1000) (int_range 1 24) (int_range 0 40))
+    prop_tracker_equals_update
+
+let test_tracker_incidence_equals_update_incidence () =
+  let rng = Rng.create 11 in
+  let n = 18 in
+  let tracker = Nullspace.tracker n in
+  let basis = ref (Matrix.identity n) in
+  for _ = 1 to 30 do
+    let k = 1 + Rng.int rng 5 in
+    let idxs =
+      Array.init k (fun _ -> Rng.int rng n)
+      |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+    in
+    let accepted_fn =
+      match Nullspace.update_incidence !basis idxs with
+      | Some n' ->
+          basis := n';
+          true
+      | None -> false
+    in
+    let accepted_tr = Nullspace.add_incidence tracker idxs in
+    check_bool "verdict" accepted_fn accepted_tr
+  done;
+  check_bool "final basis" true (matrices_equal (Nullspace.to_matrix tracker) !basis)
+
+let () =
+  Pool.set_default_jobs 1;
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_map_order;
+          Alcotest.test_case "map skewed durations" `Quick
+            test_map_matches_sequential_shuffle;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "usable after exception" `Quick
+            test_pool_usable_after_exception;
+          Alcotest.test_case "nested map" `Quick test_nested_map;
+          Alcotest.test_case "iter runs all" `Quick test_iter_runs_all;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "shutdown" `Quick test_shutdown_rejects;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fig3 bit-identical" `Slow
+            test_fig3_bit_identical;
+          Alcotest.test_case "fig4a bit-identical" `Slow
+            test_fig4a_bit_identical;
+        ] );
+      ( "tracker",
+        [
+          QCheck_alcotest.to_alcotest tracker_qcheck;
+          Alcotest.test_case "incidence parity" `Quick
+            test_tracker_incidence_equals_update_incidence;
+        ] );
+    ]

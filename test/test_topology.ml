@@ -214,10 +214,10 @@ let coverage_counts (t : Overlay.t) =
 
 let test_sparse_is_sparser_than_brite () =
   (* The defining contrast of the paper's §3.2: in the Sparse topology far
-     fewer links are traversed by multiple paths. We compare the fraction
-     of multi-covered links at equal path budget. *)
-  let tb = Brite.generate ~params:small_brite ~seed:11 () in
-  let ts = Sparse_topo.generate ~params:small_sparse ~seed:11 () in
+     fewer links are traversed by multiple paths. At this fixture size a
+     single draw is noisy (any one seed can land either way), so compare
+     the fraction of multi-covered links averaged over several seeds at
+     equal path budget. *)
   let multi_frac t =
     let cover = coverage_counts t in
     let multi =
@@ -225,8 +225,17 @@ let test_sparse_is_sparser_than_brite () =
     in
     float_of_int multi /. float_of_int (Array.length cover)
   in
+  let seeds = [ 3; 5; 7; 11; 13 ] in
+  let mean f =
+    List.fold_left (fun a s -> a +. f s) 0.0 seeds
+    /. float_of_int (List.length seeds)
+  in
+  let brite s = multi_frac (Brite.generate ~params:small_brite ~seed:s ()) in
+  let sparse s =
+    multi_frac (Sparse_topo.generate ~params:small_sparse ~seed:s ())
+  in
   check_bool "sparse has lower multi-coverage" true
-    (multi_frac ts < multi_frac tb)
+    (mean sparse < mean brite)
 
 let test_paper_scale_defaults () =
   (* §3.2: "a representative Sparse topology of about 2000 links and a
