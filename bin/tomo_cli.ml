@@ -222,6 +222,286 @@ let run_summary scale seed _seeds =
         Tomo_topology.Overlay.pp_summary w.Tomo_experiments.Workload.overlay)
     [ Tomo_experiments.Workload.Brite; Tomo_experiments.Workload.Sparse ]
 
+(* ------------------------------------------------------------------ *)
+(* Streaming mode: gen-trace / serve / batch-report                     *)
+(* ------------------------------------------------------------------ *)
+
+module W = Tomo_experiments.Workload
+module Stream = Tomo_stream
+
+let topology_arg =
+  let parse = function
+    | "brite" -> Ok W.Brite
+    | "sparse" -> Ok W.Sparse
+    | s -> Error (`Msg (Printf.sprintf "unknown topology %S (brite|sparse)" s))
+  in
+  let print ppf t = Format.fprintf ppf "%s" (W.topology_to_string t) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) W.Brite
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:
+          "Topology family the trace was measured on: brite or sparse. \
+           Together with --scale and --seed this deterministically \
+           rebuilds the model (link/path incidence, correlation sets).")
+
+let scenario_arg =
+  let parse = function
+    | "random" -> Ok Tomo_netsim.Scenario.Random
+    | "concentrated" -> Ok Tomo_netsim.Scenario.Concentrated
+    | "no-independence" -> Ok Tomo_netsim.Scenario.No_independence
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown scenario %S (random|concentrated|no-independence)" s))
+  in
+  let print ppf k =
+    Format.fprintf ppf "%s" (Tomo_netsim.Scenario.kind_to_string k)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Tomo_netsim.Scenario.Random
+    & info [ "scenario" ] ~docv:"SCENARIO"
+        ~doc:"Congestion scenario for the simulated trace.")
+
+let replay_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Measurement stream to replay: a tomo-trace file (\"-\" for \
+           stdin) or an archived tomo-observations file (detected by \
+           header).")
+
+let window_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "window" ] ~docv:"W"
+        ~doc:
+          "Sliding-window capacity in measurement intervals (ignored \
+           when restoring from a snapshot, which fixes it).")
+
+let intervals_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "intervals" ] ~docv:"T"
+        ~doc:"Trace length in intervals (default: the scale's length).")
+
+let nonstationary_arg =
+  Arg.(
+    value & flag
+    & info [ "nonstationary" ]
+        ~doc:"Redraw congestion probabilities every few intervals (§3.2).")
+
+let out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+
+let report_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the final-window estimate as a diffable tomo-report \
+           (\"-\" for stdout).")
+
+let snapshot_in_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-in" ] ~docv:"FILE"
+        ~doc:
+          "Resume from a snapshot: restores the window bit-identically \
+           and fast-forwards the replay past already-ingested ticks.")
+
+let snapshot_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a checksummed snapshot (atomic rename) every \
+           --snapshot-every ticks and at shutdown.")
+
+let snapshot_every_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "snapshot-every" ] ~docv:"K"
+        ~doc:"Snapshot cadence in ticks (with --snapshot-out).")
+
+let max_ticks_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-ticks" ] ~docv:"K"
+        ~doc:
+          "Stop after ingesting K batches in this run — a deterministic \
+           stand-in for killing the server mid-stream (the final \
+           snapshot still captures the stopping point).")
+
+let progress_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "progress" ] ~docv:"N"
+        ~doc:"Print a status line every N ticks (0 = quiet).")
+
+(* Sniff the stream format so `serve --replay` accepts both the
+   line-per-interval trace format and archived batch observations. *)
+let open_replay_source path =
+  if path = "-" then Stream.Source.of_trace_file path
+  else
+    let header =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> try input_line ic with End_of_file -> "")
+    in
+    if String.trim header = "tomo-observations v1" then
+      Stream.Source.of_observations_file path
+    else Stream.Source.of_trace_file path
+
+let check_source_paths source model =
+  let sp = Stream.Source.n_paths source
+  and mp = model.Tomo.Model.n_paths in
+  if sp <> mp then
+    failwith
+      (Printf.sprintf
+         "replay source has %d paths but the model has %d — wrong \
+          --topology/--scale/--seed for this trace?"
+         sp mp)
+
+let model_for scale seed topology =
+  let spec = W.spec ~scale ~seed topology Tomo_netsim.Scenario.Random in
+  W.model_of_overlay (W.generate_overlay spec)
+
+let write_report path report =
+  match path with
+  | None -> ()
+  | Some "-" -> print_string report
+  | Some p ->
+      let oc = open_out p in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc report)
+
+let summarize (est : Stream.Engine.estimate) ~window =
+  let r = est.Stream.Engine.result in
+  let n_links = Array.length r.Tomo.Pc_result.marginals in
+  let identifiable =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0
+      r.Tomo.Pc_result.identifiable
+  in
+  let congested =
+    Array.fold_left (fun a m -> if m > 0.1 then a + 1 else a) 0
+      r.Tomo.Pc_result.marginals
+  in
+  Format.fprintf ppf
+    "Final window estimate: tick %d, window %d, %d equations over %d \
+     variables; %d/%d links identifiable, %d links with P(congested) > \
+     0.1@."
+    est.Stream.Engine.tick window r.Tomo.Pc_result.n_rows
+    r.Tomo.Pc_result.n_vars identifiable n_links congested
+
+let run_gen_trace scale seed topology scenario nonstationary intervals out =
+  let spec =
+    W.spec ~scale ~seed ~nonstationary ?t_override:intervals topology
+      scenario
+  in
+  let w = W.prepare spec in
+  Tomo_netsim.Trace_io.save out w.W.run;
+  Format.fprintf ppf "Wrote %d intervals x %d paths to %s@."
+    w.W.run.Tomo_netsim.Run.t_intervals
+    (Array.length w.W.run.Tomo_netsim.Run.path_good)
+    out
+
+let run_serve scale seed topology replay window snapshot_in snapshot_out
+    snapshot_every max_ticks report_out progress =
+  let model = model_for scale seed topology in
+  let engine =
+    match snapshot_in with
+    | Some path ->
+        let snap = Stream.Snapshot.load path in
+        Format.fprintf ppf
+          "Restored snapshot %s: %d ticks ingested, window %d@." path
+          snap.Stream.Snapshot.ticks snap.Stream.Snapshot.capacity;
+        Stream.Engine.of_snapshot ~model snap
+    | None -> Stream.Engine.create ~model ~window ()
+  in
+  let source = open_replay_source replay in
+  check_source_paths source model;
+  let already = Stream.Engine.ticks engine in
+  if already > 0 then begin
+    let skipped = Stream.Source.drop source already in
+    if skipped < already then
+      failwith
+        (Printf.sprintf
+           "replay has only %d of the %d intervals the snapshot already \
+            ingested — wrong trace for this snapshot?"
+           skipped already)
+  end;
+  let on_tick engine est =
+    if progress > 0 && Stream.Engine.ticks engine mod progress = 0 then
+      Format.fprintf ppf "tick %d: %s@."
+        (Stream.Engine.ticks engine)
+        (match est with
+        | None -> "warming up"
+        | Some e ->
+            Printf.sprintf "%d eqs / %d vars"
+              e.Stream.Engine.result.Tomo.Pc_result.n_rows
+              e.Stream.Engine.result.Tomo.Pc_result.n_vars)
+  in
+  let last =
+    Stream.Engine.run ?snapshot_out ~snapshot_every ?max_ticks engine source
+      ~on_tick
+  in
+  Stream.Source.close source;
+  let cap = Stream.Window.capacity (Stream.Engine.window engine) in
+  match
+    (match last with Some _ -> last | None -> Stream.Engine.current engine)
+  with
+  | None ->
+      Format.fprintf ppf
+        "Stream ended after %d ticks — window (capacity %d) never \
+         filled; no estimate.@."
+        (Stream.Engine.ticks engine)
+        cap
+  | Some est ->
+      summarize est ~window:cap;
+      write_report report_out (Stream.Engine.report_to_string ~window:cap est)
+
+let run_batch_report scale seed topology replay window report_out =
+  let model = model_for scale seed topology in
+  let source = open_replay_source replay in
+  check_source_paths source model;
+  let cols = List.rev (Stream.Source.fold source (fun acc c -> c :: acc) []) in
+  Stream.Source.close source;
+  let total = List.length cols in
+  if total < window then
+    failwith
+      (Printf.sprintf
+         "trace has only %d intervals; --window %d never fills" total
+         window);
+  let last = Array.of_list cols in
+  let first = total - window in
+  let obs =
+    Tomo.Observations.create ~t_intervals:window
+      ~n_paths:model.Tomo.Model.n_paths
+  in
+  for i = 0 to window - 1 do
+    Tomo.Observations.set_interval_statuses obs ~interval:i
+      ~good:last.(first + i)
+  done;
+  let result, engine = Tomo.Correlation_complete.compute model obs in
+  let est = { Stream.Engine.tick = total; result; engine } in
+  summarize est ~window;
+  write_report report_out (Stream.Engine.report_to_string ~window est)
+
 let all scale seed seeds csv =
   run_fig3 scale seed seeds csv;
   fig4a scale seed seeds csv;
@@ -246,6 +526,56 @@ let cmd_csv name doc f =
           with_obs jobs trace mout (fun () -> f scale seed seeds csv))
       $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ jobs_arg $ trace_arg
       $ metrics_out_arg)
+
+let gen_trace_cmd =
+  Cmd.v
+    (Cmd.info "gen-trace"
+       ~doc:
+         "Simulate a workload and write its per-interval measurement \
+          stream as a replayable tomo-trace file.")
+    Term.(
+      const (fun scale seed topology scenario nonstationary intervals out
+                jobs trace mout ->
+          with_obs jobs trace mout (fun () ->
+              run_gen_trace scale seed topology scenario nonstationary
+                intervals out))
+      $ scale_arg $ seed_arg $ topology_arg $ scenario_arg
+      $ nonstationary_arg $ intervals_arg $ out_arg $ jobs_arg $ trace_arg
+      $ metrics_out_arg)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online sliding-window engine over a replayed \
+          measurement stream, re-estimating congestion probabilities \
+          every interval; snapshots allow a killed server to resume \
+          bit-identically.")
+    Term.(
+      const (fun scale seed topology replay window snapshot_in snapshot_out
+                snapshot_every max_ticks report_out progress jobs trace mout ->
+          with_obs jobs trace mout (fun () ->
+              run_serve scale seed topology replay window snapshot_in
+                snapshot_out snapshot_every max_ticks report_out progress))
+      $ scale_arg $ seed_arg $ topology_arg $ replay_arg $ window_arg
+      $ snapshot_in_arg $ snapshot_out_arg $ snapshot_every_arg
+      $ max_ticks_arg $ report_out_arg $ progress_arg $ jobs_arg $ trace_arg
+      $ metrics_out_arg)
+
+let batch_report_cmd =
+  Cmd.v
+    (Cmd.info "batch-report"
+       ~doc:
+         "Run the batch pipeline over the last --window intervals of a \
+          replay file and write the same tomo-report format as serve — \
+          the two must diff equal.")
+    Term.(
+      const (fun scale seed topology replay window report_out jobs trace
+                mout ->
+          with_obs jobs trace mout (fun () ->
+              run_batch_report scale seed topology replay window report_out))
+      $ scale_arg $ seed_arg $ topology_arg $ replay_arg $ window_arg
+      $ report_out_arg $ jobs_arg $ trace_arg $ metrics_out_arg)
 
 let table2_cmd =
   Cmd.v
@@ -278,6 +608,9 @@ let () =
       cmd "summary" "Print generated topology statistics." run_summary;
       cmd_csv "all" "Run every figure and table." all;
       table2_cmd;
+      gen_trace_cmd;
+      serve_cmd;
+      batch_report_cmd;
     ]
   in
   exit (Cmd.eval (Cmd.group info cmds))

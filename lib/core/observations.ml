@@ -3,7 +3,10 @@ module Bitset = Tomo_util.Bitset
 type t = {
   t_intervals : int;
   path_good : Bitset.t array;
-  scratch : Bitset.t;  (* reused by all_good_count *)
+  counts : int array;  (* per path: number of good intervals *)
+  scratch : Bitset.t option Atomic.t;
+      (* leased by all_good_count; a concurrent holder makes the next
+         caller allocate a private one instead of blocking *)
 }
 
 let make ~t_intervals ~path_good =
@@ -15,7 +18,17 @@ let make ~t_intervals ~path_good =
       if Bitset.length b <> t_intervals then
         invalid_arg "Observations.make: status row has wrong capacity")
     path_good;
-  { t_intervals; path_good; scratch = Bitset.create t_intervals }
+  {
+    t_intervals;
+    path_good;
+    counts = Array.map Bitset.count path_good;
+    scratch = Atomic.make (Some (Bitset.create t_intervals));
+  }
+
+let create ~t_intervals ~n_paths =
+  if n_paths <= 0 then invalid_arg "Observations.create: no paths";
+  make ~t_intervals
+    ~path_good:(Array.init n_paths (fun _ -> Bitset.create t_intervals))
 
 let t_intervals t = t.t_intervals
 let n_paths t = Array.length t.path_good
@@ -24,45 +37,76 @@ let check_path t p =
   if p < 0 || p >= n_paths t then
     invalid_arg "Observations: path out of range"
 
+let check_interval t i =
+  if i < 0 || i >= t.t_intervals then
+    invalid_arg "Observations: interval out of range"
+
 let good_in_interval t ~path ~interval =
   check_path t path;
   Bitset.get t.path_good.(path) interval
+
+let set_interval_statuses t ~interval ~good =
+  check_interval t interval;
+  if Bitset.length good <> n_paths t then
+    invalid_arg "Observations.set_interval_statuses: wrong capacity";
+  for p = 0 to n_paths t - 1 do
+    let was = Bitset.get t.path_good.(p) interval in
+    let now = Bitset.get good p in
+    if was <> now then begin
+      Bitset.assign t.path_good.(p) interval now;
+      t.counts.(p) <- t.counts.(p) + (if now then 1 else -1)
+    end
+  done
+
+let good_count t ~path =
+  check_path t path;
+  t.counts.(path)
+
+(* Run [f] on a cleared scratch bit set.  The cached one is leased with a
+   single atomic exchange; if another domain holds it we fall back to a
+   fresh allocation, so concurrent readers stay correct. *)
+let with_scratch t f =
+  match Atomic.exchange t.scratch None with
+  | Some b ->
+      Bitset.clear_all b;
+      let r = f b in
+      Atomic.set t.scratch (Some b);
+      r
+  | None -> f (Bitset.create t.t_intervals)
 
 let all_good_count t paths =
   match Array.length paths with
   | 0 -> t.t_intervals
   | 1 ->
       check_path t paths.(0);
-      Bitset.count t.path_good.(paths.(0))
+      t.counts.(paths.(0))
   | _ ->
       check_path t paths.(0);
-      let acc = t.scratch in
-      Bitset.clear_all acc;
-      Bitset.union_into ~into:acc t.path_good.(paths.(0));
-      Array.iter
-        (fun p ->
-          check_path t p;
-          Bitset.inter_into ~into:acc t.path_good.(p))
-        paths;
-      Bitset.count acc
+      with_scratch t (fun acc ->
+          Bitset.union_into ~into:acc t.path_good.(paths.(0));
+          Array.iter
+            (fun p ->
+              check_path t p;
+              Bitset.inter_into ~into:acc t.path_good.(p))
+            paths;
+          Bitset.count acc)
+
+let smoothed_log_prob ~t_intervals ~count =
+  log ((float_of_int count +. 0.5) /. (float_of_int t_intervals +. 1.0))
 
 let log_all_good_prob t paths =
-  let count = all_good_count t paths in
-  log
-    ((float_of_int count +. 0.5) /. (float_of_int t.t_intervals +. 1.0))
+  smoothed_log_prob ~t_intervals:t.t_intervals ~count:(all_good_count t paths)
 
 let good_frac t ~path =
   check_path t path;
-  float_of_int (Bitset.count t.path_good.(path))
-  /. float_of_int t.t_intervals
+  float_of_int t.counts.(path) /. float_of_int t.t_intervals
 
 let always_good t ~path =
   check_path t path;
-  Bitset.count t.path_good.(path) = t.t_intervals
+  t.counts.(path) = t.t_intervals
 
 let good_paths_at t ~interval =
-  if interval < 0 || interval >= t.t_intervals then
-    invalid_arg "Observations: interval out of range";
+  check_interval t interval;
   let b = Bitset.create (n_paths t) in
   Array.iteri
     (fun p row -> if Bitset.get row interval then Bitset.set b p)

@@ -10,7 +10,19 @@
 
     Frequencies are smoothed with an add-half (Krichevsky–Trofimov) rule,
     [(count + 1/2) / (T + 1)], so the logarithm is defined even for path
-    sets never observed jointly good. *)
+    sets never observed jointly good.
+
+    Observations are mutable at interval granularity:
+    {!set_interval_statuses} replaces one interval's column of path
+    statuses and incrementally maintains per-path good counts, which is
+    what lets the streaming engine ({!Tomo_stream}) run a sliding window
+    without recounting.  Counts-dependent reads ([good_frac],
+    [always_good], singleton [all_good_count]) are O(1).
+
+    Concurrency: mutation is single-writer, but read-only queries
+    (including [all_good_count], which used to share one scratch bit set)
+    are safe from multiple domains — the scratch is leased atomically and
+    a concurrent reader falls back to a private allocation. *)
 
 type t
 
@@ -20,15 +32,38 @@ type t
     there are no paths/intervals. *)
 val make : t_intervals:int -> path_good:Tomo_util.Bitset.t array -> t
 
+(** [create ~t_intervals ~n_paths] is an all-congested observation matrix
+    (every status bit clear) — the empty sliding window the streaming
+    engine fills in place. *)
+val create : t_intervals:int -> n_paths:int -> t
+
 val t_intervals : t -> int
 val n_paths : t -> int
 
 (** [good_in_interval t ~path ~interval]: status of one cell. *)
 val good_in_interval : t -> path:int -> interval:int -> bool
 
+(** [set_interval_statuses t ~interval ~good] replaces interval
+    [interval]'s column: path [p] is recorded good iff bit [p] of [good]
+    is set.  Per-path good counts are updated incrementally (only cells
+    that change are touched).  @raise Invalid_argument if [good] is not
+    sized to [n_paths t] or the interval is out of range. *)
+val set_interval_statuses :
+  t -> interval:int -> good:Tomo_util.Bitset.t -> unit
+
+(** [good_count t ~path] is the number of intervals in which the path was
+    good, O(1) from the maintained counts. *)
+val good_count : t -> path:int -> int
+
 (** [all_good_count t paths] is the number of intervals in which every
     path in [paths] was good.  [all_good_count t [||]] = [t_intervals]. *)
 val all_good_count : t -> int array -> int
+
+(** [smoothed_log_prob ~t_intervals ~count] is the add-half smoothed
+    log-frequency [log ((count + 1/2) / (T + 1))] — exposed so callers
+    holding incrementally maintained counts (the streaming engine) build
+    bit-identical right-hand sides to {!log_all_good_prob}. *)
+val smoothed_log_prob : t_intervals:int -> count:int -> float
 
 (** [log_all_good_prob t paths] is [log ((count + 1/2) / (T + 1))] where
     [count = all_good_count t paths]. *)

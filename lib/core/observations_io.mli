@@ -16,9 +16,16 @@
 val write : Format.formatter -> Observations.t -> unit
 val to_string : Observations.t -> string
 
-(** [of_string s] parses and validates.
-    @raise Failure with a line-anchored message on malformed input. *)
-val of_string : string -> Observations.t
+(** [of_string ?filename s] parses and validates.
+    @raise Failure with a ["file:line: ..."]-anchored message on
+    malformed input — truncated files (fewer rows than declared), ragged
+    rows (wrong status-string length), duplicate or out-of-range row ids,
+    and bad status characters are all reported with the offending line
+    number.  [filename] (default ["<string>"]) prefixes the message. *)
+val of_string : ?filename:string -> string -> Observations.t
 
 val save : string -> Observations.t -> unit
+
+(** [load path] is [of_string ~filename:path] on the file contents, so
+    errors point into the file. *)
 val load : string -> Observations.t

@@ -11,23 +11,38 @@ type t = {
   obs : Observations.t;
 }
 
-let solve (selection : Algorithm1.selection) obs =
+let solve_b (selection : Algorithm1.selection) obs b =
   Obs.Trace.with_span "prob_engine.solve" @@ fun () ->
   Obs.Metrics.incr c_solves;
   let n = Eqn.n_vars selection.Algorithm1.registry in
   let rows =
     Array.map (fun r -> r.Eqn.vars) selection.Algorithm1.rows
   in
-  let b =
-    Array.map
-      (fun r -> Observations.log_all_good_prob obs r.Eqn.paths)
-      selection.Algorithm1.rows
-  in
   let values = Cgls.solve ~n_vars:n ~rows ~b () in
   let identifiable =
     Array.init n (fun v -> Algorithm1.identifiable selection v)
   in
   { selection; values; identifiable; obs }
+
+let solve (selection : Algorithm1.selection) obs =
+  let b =
+    Array.map
+      (fun r -> Observations.log_all_good_prob obs r.Eqn.paths)
+      selection.Algorithm1.rows
+  in
+  solve_b selection obs b
+
+let solve_with_counts (selection : Algorithm1.selection) obs ~counts =
+  let n_rows = Array.length selection.Algorithm1.rows in
+  if Array.length counts <> n_rows then
+    invalid_arg "Prob_engine.solve_with_counts: one count per row expected";
+  let t = Observations.t_intervals obs in
+  let b =
+    Array.map
+      (fun count -> Observations.smoothed_log_prob ~t_intervals:t ~count)
+      counts
+  in
+  solve_b selection obs b
 
 let clamp01 x = max 0.0 (min 1.0 x)
 

@@ -25,6 +25,16 @@ type t = {
     system. *)
 val solve : Algorithm1.selection -> Observations.t -> t
 
+(** [solve_with_counts selection obs ~counts] is [solve] with the
+    right-hand side built from externally maintained all-good counts:
+    [counts.(i)] must be [Observations.all_good_count obs rows.(i).paths]
+    for the [i]-th selected row.  The streaming engine maintains these
+    incrementally per tick instead of recounting window intersections;
+    given correct counts the result is bit-identical to [solve].
+    @raise Invalid_argument unless there is exactly one count per row. *)
+val solve_with_counts :
+  Algorithm1.selection -> Observations.t -> counts:int array -> t
+
 (** [good_prob t s] is [P(all links of s good)] if [s] is a registered,
     identifiable variable. *)
 val good_prob : t -> Subsets.t -> float option

@@ -75,6 +75,14 @@ let observations_of_run (run : Run.result) =
   Tomo.Observations.make ~t_intervals:run.Run.t_intervals
     ~path_good:run.Run.path_good
 
+let generate_overlay spec =
+  match spec.topology with
+  | Brite ->
+      Brite_gen.generate ~params:(brite_params spec.scale) ~seed:spec.seed ()
+  | Sparse ->
+      Sparse_gen.generate ~params:(sparse_params spec.scale) ~seed:spec.seed
+        ()
+
 let prepare spec =
   Obs.Trace.with_span "workload.prepare" @@ fun () ->
   Obs.Metrics.incr c_prepared;
@@ -83,15 +91,7 @@ let prepare spec =
     Obs.Trace.add_attr "scale" (scale_to_string spec.scale);
     Obs.Trace.add_attr "seed" (string_of_int spec.seed)
   end;
-  let overlay =
-    match spec.topology with
-    | Brite ->
-        Brite_gen.generate ~params:(brite_params spec.scale) ~seed:spec.seed
-          ()
-    | Sparse ->
-        Sparse_gen.generate ~params:(sparse_params spec.scale)
-          ~seed:spec.seed ()
-  in
+  let overlay = generate_overlay spec in
   let rng = Rng.create (spec.seed * 613 + 17) in
   let scenario =
     Scenario.make overlay ~kind:spec.scenario ~frac:0.1

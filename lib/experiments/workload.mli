@@ -59,6 +59,11 @@ val t_intervals : scale -> int
 (** [prepare spec] generates, simulates and packages the workload. *)
 val prepare : spec -> prepared
 
+(** [generate_overlay spec] is just the deterministic topology half of
+    {!prepare} — what a streaming consumer needs to rebuild the model a
+    replayed trace was measured on, without re-running the simulation. *)
+val generate_overlay : spec -> Tomo_topology.Overlay.t
+
 (** [model_of_overlay overlay] builds the tomography view: link/path
     incidence plus one correlation set per AS that owns links. *)
 val model_of_overlay : Tomo_topology.Overlay.t -> Tomo.Model.t

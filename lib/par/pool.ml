@@ -9,9 +9,9 @@ let h_task_wait = Obs.Metrics.histogram "pool_task_wait_s"
 let h_batch = Obs.Metrics.histogram "pool_batch_s"
 
 (* A batch is one parallel_map call: [n] independent tasks claimed by
-   index.  Workers and the submitting caller race to claim indices; the
-   caller blocks on [done_c] (claiming whenever possible) until
-   [completed = n]. *)
+   index.  Workers and the submitting caller race to claim contiguous
+   index chunks; the caller blocks on [done_c] (claiming whenever
+   possible) until [completed = n]. *)
 type batch = {
   run : int -> unit;
   n : int;
@@ -37,16 +37,22 @@ let jobs t = t.jobs
 let queue_depth t =
   List.fold_left (fun acc b -> acc + (b.n - b.next)) 0 t.open_batches
 
-(* Claim one task index, preferring [own] so a nested caller always
-   drives its own batch. Called with [t.m] held. *)
+(* Claim a contiguous chunk of task indices, preferring [own] so a
+   nested caller always drives its own batch.  Guided self-scheduling:
+   each grab takes [remaining / (2 * jobs)] indices (at least one), so a
+   large batch costs O(jobs log n) claims and condition-variable
+   round-trips instead of one per task, while the shrinking tail keeps
+   skewed task durations balanced.  Called with [t.m] held. *)
 let claim ?own t =
   let from b =
     if b.next < b.n then begin
-      let i = b.next in
-      b.next <- i + 1;
+      let start = b.next in
+      let remaining = b.n - start in
+      let len = min remaining (max 1 (remaining / (2 * t.jobs))) in
+      b.next <- start + len;
       if b.next >= b.n then
         t.open_batches <- List.filter (fun b' -> b' != b) t.open_batches;
-      Some (b, i)
+      Some (b, start, len)
     end
     else None
   in
@@ -59,14 +65,16 @@ let claim ?own t =
       in
       go t.open_batches
 
-let run_claimed t (b, i) =
+let run_claimed t (b, start, len) =
   if Obs.Metrics.enabled () then
     Obs.Metrics.observe h_task_wait (Unix.gettimeofday () -. b.enqueued_at);
   (* [run] stores its own result/exception; it must not raise. *)
-  b.run i;
-  Obs.Metrics.incr c_tasks;
+  for i = start to start + len - 1 do
+    b.run i
+  done;
+  Obs.Metrics.incr ~by:len c_tasks;
   Mutex.lock t.m;
-  b.completed <- b.completed + 1;
+  b.completed <- b.completed + len;
   Condition.broadcast t.done_c;
   Mutex.unlock t.m
 

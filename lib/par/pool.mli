@@ -9,6 +9,12 @@
     Design:
     - a fixed set of worker domains ([jobs - 1] of them) blocks on a
       condition variable waiting for batches of tasks;
+    - tasks are claimed in contiguous {e chunks} (guided
+      self-scheduling: each grab takes [remaining / (2 * jobs)] indices,
+      at least one), so fine-grained batches pay O(jobs log n) lock and
+      condition-variable round-trips rather than one per task; chunking
+      only changes who runs which index, never the per-index results, so
+      [-j1] and [-jN] stay bit-identical;
     - the {e caller participates}: [parallel_map] claims tasks from its
       own batch while waiting, so a task may itself call [parallel_map]
       (nested use) without deadlock — the nested caller simply drains

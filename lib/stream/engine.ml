@@ -1,0 +1,247 @@
+module Bitset = Tomo_util.Bitset
+module Obs = Tomo_obs
+module Pool = Tomo_par.Pool
+
+let c_ticks = Obs.Metrics.counter "stream_ticks"
+let c_estimates = Obs.Metrics.counter "stream_estimates"
+let c_reselects = Obs.Metrics.counter "stream_reselects"
+let g_occupancy = Obs.Metrics.gauge "stream_window_occupancy"
+let g_capacity = Obs.Metrics.gauge "stream_window_capacity"
+let h_tick = Obs.Metrics.histogram "stream_tick_s"
+let h_solve = Obs.Metrics.histogram "stream_solve_s"
+let h_corrset = Obs.Metrics.histogram "stream_corrset_solve_s"
+
+(* The engine's cached view of the selected equation system.  [counts]
+   is maintained incrementally: pushing a batch changes exactly one ring
+   slot, so each row's all-good count moves by the difference between the
+   evicted and the fresh column.  [always_good] records the observation
+   input the selection was derived from — Algorithm 1 reads observations
+   only through the always-good path set, so the selection stays valid
+   exactly as long as that set does. *)
+type selection_state = {
+  selection : Tomo.Algorithm1.selection;
+  row_masks : Bitset.t array;  (* per row: its path set over paths *)
+  counts : int array;  (* per row: all-good count over the window *)
+  always_good : Bitset.t;
+}
+
+type t = {
+  model : Tomo.Model.t;
+  select_config : Tomo.Algorithm1.config option;
+  window : Window.t;
+  mutable sel : selection_state option;
+}
+
+type estimate = {
+  tick : int;
+  result : Tomo.Pc_result.t;
+  engine : Tomo.Prob_engine.t;
+}
+
+let create ?select_config ~model ~window () =
+  if window <= 0 then invalid_arg "Engine.create: no window capacity";
+  {
+    model;
+    select_config;
+    window = Window.create ~capacity:window ~n_paths:model.Tomo.Model.n_paths;
+    sel = None;
+  }
+
+let window t = t.window
+let ticks t = Window.ticks t.window
+
+let snapshot t = Snapshot.capture t.window
+
+let of_snapshot ?select_config ~model snap =
+  if snap.Snapshot.n_paths <> model.Tomo.Model.n_paths then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.of_snapshot: snapshot has %d paths, model has %d"
+         snap.Snapshot.n_paths model.Tomo.Model.n_paths);
+  { model; select_config; window = Snapshot.window_of snap; sel = None }
+
+let paths_mask n_paths paths =
+  let b = Bitset.create n_paths in
+  Array.iter (fun p -> Bitset.set b p) paths;
+  b
+
+let build_selection t ~always =
+  Obs.Trace.with_span "stream.reselect" @@ fun () ->
+  Obs.Metrics.incr c_reselects;
+  let selection =
+    Tomo.Algorithm1.select ?config:t.select_config t.model
+      (Window.observations t.window)
+  in
+  let n_paths = t.model.Tomo.Model.n_paths in
+  let rows = selection.Tomo.Algorithm1.rows in
+  let row_masks =
+    Array.map (fun r -> paths_mask n_paths r.Tomo.Eqn.paths) rows
+  in
+  let counts = Array.make (Array.length rows) 0 in
+  Window.iter_columns
+    (fun col ->
+      Array.iteri
+        (fun i mask ->
+          if Bitset.subset mask col then counts.(i) <- counts.(i) + 1)
+        row_masks)
+    t.window;
+  { selection; row_masks; counts; always_good = always }
+
+(* Refresh [sel.counts] after one ring slot was replaced. *)
+let update_counts sel ~evicted ~fresh =
+  Array.iteri
+    (fun i mask ->
+      let was = Bitset.subset mask evicted
+      and now = Bitset.subset mask fresh in
+      if was <> now then
+        sel.counts.(i) <- (sel.counts.(i) + if now then 1 else -1))
+    sel.row_masks
+
+let solve ?pool t =
+  Obs.Trace.with_span "stream.solve" @@ fun () ->
+  let s = Option.get t.sel in
+  let obs = Window.observations t.window in
+  let t0 = Unix.gettimeofday () in
+  let engine =
+    Tomo.Prob_engine.solve_with_counts s.selection obs ~counts:s.counts
+  in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe h_solve (Unix.gettimeofday () -. t0);
+  (* Marginal extraction fans out per correlation set: each set's links
+     are independent reads of the solved engine, and the correlation
+     sets partition the links, so the scatter below writes every link
+     exactly once and the schedule cannot change any value. *)
+  let n_links = t.model.Tomo.Model.n_links in
+  let marginals = Array.make n_links 0.0 in
+  let identifiable = Array.make n_links true in
+  let per_set =
+    Pool.parallel_map ?pool
+      (fun c ->
+        let t1 = Unix.gettimeofday () in
+        let links = Tomo.Model.corr_set_links t.model c in
+        let cells =
+          Array.map
+            (fun e ->
+              ( Tomo.Prob_engine.link_marginal engine e,
+                Tomo.Prob_engine.link_identifiable engine e ))
+            links
+        in
+        if Obs.Metrics.enabled () then
+          Obs.Metrics.observe h_corrset (Unix.gettimeofday () -. t1);
+        (links, cells))
+      (Array.init (Tomo.Model.n_corr_sets t.model) Fun.id)
+  in
+  Array.iter
+    (fun (links, cells) ->
+      Array.iteri
+        (fun i e ->
+          let m, ident = cells.(i) in
+          marginals.(e) <- m;
+          identifiable.(e) <- ident)
+        links)
+    per_set;
+  Obs.Metrics.incr c_estimates;
+  {
+    tick = Window.ticks t.window;
+    result =
+      {
+        Tomo.Pc_result.marginals;
+        identifiable;
+        effective = s.selection.Tomo.Algorithm1.effective;
+        n_vars = Tomo.Eqn.n_vars s.selection.Tomo.Algorithm1.registry;
+        n_rows = Array.length s.selection.Tomo.Algorithm1.rows;
+      };
+    engine;
+  }
+
+let ensure_selection t =
+  let always = Window.always_good_paths t.window in
+  match t.sel with
+  | Some s when Bitset.equal s.always_good always -> ()
+  | _ -> t.sel <- Some (build_selection t ~always)
+
+let ingest ?pool t good =
+  Obs.Trace.with_span "stream.tick" @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  Obs.Metrics.incr c_ticks;
+  let evicted = Window.push t.window good in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.set_gauge g_occupancy
+      (float_of_int (Window.occupancy t.window));
+    Obs.Metrics.set_gauge g_capacity
+      (float_of_int (Window.capacity t.window))
+  end;
+  let est =
+    if not (Window.is_full t.window) then None
+    else begin
+      (match (t.sel, evicted) with
+      | Some s, Some evicted
+        when Bitset.equal s.always_good (Window.always_good_paths t.window)
+        ->
+          update_counts s ~evicted ~fresh:good
+      | _ -> ensure_selection t);
+      Some (solve ?pool t)
+    end
+  in
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe h_tick (Unix.gettimeofday () -. t0);
+  est
+
+let current ?pool t =
+  if not (Window.is_full t.window) then None
+  else begin
+    ensure_selection t;
+    Some (solve ?pool t)
+  end
+
+let run ?pool ?snapshot_out ?(snapshot_every = 1) ?max_ticks t source
+    ~on_tick =
+  if snapshot_every <= 0 then
+    invalid_arg "Engine.run: non-positive snapshot interval";
+  let budget = match max_ticks with Some k -> k | None -> max_int in
+  let maybe_snapshot () =
+    match snapshot_out with
+    | Some path when Window.ticks t.window mod snapshot_every = 0 ->
+        Snapshot.save path (snapshot t)
+    | _ -> ()
+  in
+  let rec loop last n =
+    if n >= budget then last
+    else
+      match Source.next source with
+      | None -> last
+      | Some good ->
+          let est = ingest ?pool t good in
+          on_tick t est;
+          maybe_snapshot ();
+          loop (match est with Some _ -> est | None -> last) (n + 1)
+  in
+  let last = loop None 0 in
+  (* Always leave a snapshot at the stopping point, so a shutdown that
+     falls between snapshot cadence ticks still resumes exactly here. *)
+  (match snapshot_out with
+  | Some path -> Snapshot.save path (snapshot t)
+  | None -> ());
+  last
+
+(* ------------------------------------------------------------------ *)
+(* Diffable final report                                                *)
+(* ------------------------------------------------------------------ *)
+
+let report_to_string ~window est =
+  let r = est.result in
+  let n_links = Array.length r.Tomo.Pc_result.marginals in
+  let buf = Buffer.create (n_links * 32) in
+  Buffer.add_string buf "tomo-report v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "ticks %d window %d links %d\n" est.tick window n_links);
+  Buffer.add_string buf
+    (Printf.sprintf "rows %d vars %d\n" r.Tomo.Pc_result.n_rows
+       r.Tomo.Pc_result.n_vars);
+  for e = 0 to n_links - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "link %d %.17g %d\n" e
+         r.Tomo.Pc_result.marginals.(e)
+         (if r.Tomo.Pc_result.identifiable.(e) then 1 else 0))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,104 @@
+(** The online sliding-window tomography engine.
+
+    Ingests path-observation batches one measurement interval at a time
+    (from any {!Source}), maintains a bounded sliding {!Window}, and
+    re-estimates Correlation-complete congestion probabilities per tick
+    by reusing the batch machinery ({!Tomo.Algorithm1} +
+    {!Tomo.Prob_engine}) — never from scratch:
+
+    - the equation-system {e selection} is cached and recomputed only
+      when the window's always-good path set changes (the only
+      observation input Algorithm 1 reads);
+    - the per-row all-good {e counts} feeding the right-hand sides are
+      updated incrementally from the evicted/fresh column pair each
+      push ({!Tomo.Prob_engine.solve_with_counts});
+    - marginal extraction fans out per correlation set over
+      {!Tomo_par.Pool}.
+
+    Because every cached quantity is a deterministic function of the
+    window contents, a full-window estimate is bit-identical to running
+    the batch pipeline ({!Tomo.Correlation_complete.compute}) on those
+    same intervals, and an engine restored from a {!Snapshot} continues
+    bit-identically to one that never stopped.
+
+    Observability (via {!Tomo_obs.Metrics}, off unless a sink is
+    configured): counters [stream_ticks], [stream_estimates],
+    [stream_reselects]; gauges [stream_window_occupancy],
+    [stream_window_capacity]; histograms [stream_tick_s] (whole-tick
+    latency), [stream_solve_s] (CGLS solve), [stream_corrset_solve_s]
+    (per-correlation-set marginal extraction). *)
+
+type t
+
+(** One full-window estimate. *)
+type estimate = {
+  tick : int;  (** total intervals ingested when this was computed *)
+  result : Tomo.Pc_result.t;
+  engine : Tomo.Prob_engine.t;
+      (** the solved system, for subset/pattern queries *)
+}
+
+(** [create ?select_config ~model ~window ()] is an empty engine whose
+    sliding window holds [window] intervals.
+    @raise Invalid_argument if [window <= 0]. *)
+val create :
+  ?select_config:Tomo.Algorithm1.config ->
+  model:Tomo.Model.t ->
+  window:int ->
+  unit ->
+  t
+
+val window : t -> Window.t
+
+(** Total intervals ingested over the engine's lifetime (survives
+    snapshot/restore). *)
+val ticks : t -> int
+
+(** [ingest ?pool t good] feeds one interval batch (bit [p] set iff path
+    [p] measured good; ownership transfers to the window).  Returns the
+    refreshed estimate, or [None] while the window is still warming
+    up. *)
+val ingest : ?pool:Tomo_par.Pool.t -> t -> Tomo_util.Bitset.t -> estimate option
+
+(** [current ?pool t] re-estimates from the window as it stands (e.g.
+    right after a restore, without waiting for the next batch); [None]
+    while warming up. *)
+val current : ?pool:Tomo_par.Pool.t -> t -> estimate option
+
+(** [snapshot t] captures resumable state; see {!Snapshot}. *)
+val snapshot : t -> Snapshot.t
+
+(** [of_snapshot ?select_config ~model snap] resumes: the next estimate
+    is bit-identical to an engine that never stopped.
+    @raise Invalid_argument if the snapshot's path count does not match
+    the model. *)
+val of_snapshot :
+  ?select_config:Tomo.Algorithm1.config ->
+  model:Tomo.Model.t ->
+  Snapshot.t ->
+  t
+
+(** [run ?pool ?snapshot_out ?snapshot_every ?max_ticks t source ~on_tick]
+    is the service loop: drain [source] through {!ingest}, calling
+    [on_tick] after every batch.  With [snapshot_out], a snapshot is
+    written (atomically) every [snapshot_every] ticks (default 1) and
+    once more at the stopping point.  [max_ticks] bounds how many
+    batches {e this call} processes — the deterministic stand-in for a
+    mid-stream kill.  Returns the last full-window estimate this call
+    produced, if any.
+    @raise Invalid_argument if [snapshot_every <= 0]. *)
+val run :
+  ?pool:Tomo_par.Pool.t ->
+  ?snapshot_out:string ->
+  ?snapshot_every:int ->
+  ?max_ticks:int ->
+  t ->
+  Source.t ->
+  on_tick:(t -> estimate option -> unit) ->
+  estimate option
+
+(** [report_to_string ~window est] renders the estimate in the stable,
+    diffable [tomo-report v1] text format ([%.17g] marginals, so equal
+    reports mean bit-equal floats) used by [tomo_cli serve] /
+    [batch-report] and the CI streaming smoke job. *)
+val report_to_string : window:int -> estimate -> string

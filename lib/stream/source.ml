@@ -1,0 +1,191 @@
+module Bitset = Tomo_util.Bitset
+
+module type S = sig
+  type conn
+
+  val n_paths : conn -> int
+  val next : conn -> Bitset.t option
+  val close : conn -> unit
+end
+
+type t = Source : (module S with type conn = 'c) * 'c -> t
+
+let n_paths (Source ((module M), conn)) = M.n_paths conn
+let next (Source ((module M), conn)) = M.next conn
+let close (Source ((module M), conn)) = M.close conn
+
+let fold source f init =
+  let rec go acc =
+    match next source with None -> acc | Some good -> go (f acc good)
+  in
+  go init
+
+let drop source n =
+  let rec go dropped =
+    if dropped >= n then dropped
+    else match next source with None -> dropped | Some _ -> go (dropped + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* tomo-trace v1 over an input channel (file, stdin, or later a socket
+   stream — anything line-oriented)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fail ~filename ~lineno fmt =
+  Format.kasprintf
+    (fun msg -> failwith (Printf.sprintf "%s:%d: %s" filename lineno msg))
+    fmt
+
+type trace_conn = {
+  ic : in_channel;
+  filename : string;
+  owns_channel : bool;
+  paths : int;
+  mutable lineno : int;
+  mutable next_tick : int;
+  mutable closed : bool;
+  mutable eof : bool;
+}
+
+let input_trimmed_line conn =
+  match In_channel.input_line conn.ic with
+  | None -> None
+  | Some l ->
+      conn.lineno <- conn.lineno + 1;
+      Some (String.trim l)
+
+(* Skip blank lines; [None] = clean end of stream. *)
+let rec next_payload_line conn =
+  match input_trimmed_line conn with
+  | None -> None
+  | Some "" -> next_payload_line conn
+  | Some l -> Some l
+
+let words l = String.split_on_char ' ' l |> List.filter (( <> ) "")
+
+module Trace_source = struct
+  type conn = trace_conn
+
+  let n_paths c = c.paths
+
+  let parse_batch c line =
+    match words line with
+    | [ "tick"; id; bits ] ->
+        let id =
+          match int_of_string_opt id with
+          | Some v -> v
+          | None ->
+              fail ~filename:c.filename ~lineno:c.lineno
+                "expected integer tick id, got %S" id
+        in
+        if id <> c.next_tick then
+          fail ~filename:c.filename ~lineno:c.lineno
+            "out-of-order tick: expected %d, got %d (truncated or \
+             reordered trace?)"
+            c.next_tick id;
+        if String.length bits <> c.paths then
+          fail ~filename:c.filename ~lineno:c.lineno
+            "ragged tick: expected %d status characters, got %d" c.paths
+            (String.length bits);
+        let good = Bitset.create c.paths in
+        String.iteri
+          (fun p ch ->
+            match ch with
+            | '1' -> Bitset.set good p
+            | '0' -> ()
+            | ch ->
+                fail ~filename:c.filename ~lineno:c.lineno
+                  "bad status character %C (expected 0 or 1)" ch)
+          bits;
+        c.next_tick <- c.next_tick + 1;
+        good
+    | _ ->
+        fail ~filename:c.filename ~lineno:c.lineno "unrecognized line %S"
+          line
+
+  let next c =
+    if c.closed || c.eof then None
+    else
+      match next_payload_line c with
+      | None ->
+          c.eof <- true;
+          None
+      | Some line -> Some (parse_batch c line)
+
+  let close c =
+    if not c.closed then begin
+      c.closed <- true;
+      if c.owns_channel then close_in c.ic
+    end
+end
+
+let of_trace_channel ?(filename = "<channel>") ?(owns_channel = false) ic =
+  let conn =
+    {
+      ic;
+      filename;
+      owns_channel;
+      paths = 0;
+      lineno = 0;
+      next_tick = 0;
+      closed = false;
+      eof = false;
+    }
+  in
+  (match next_payload_line conn with
+  | Some "tomo-trace v1" -> ()
+  | Some l ->
+      fail ~filename ~lineno:conn.lineno "unknown trace format: %S" l
+  | None -> fail ~filename ~lineno:1 "empty trace");
+  let paths =
+    match next_payload_line conn with
+    | Some l -> (
+        match words l with
+        | [ "paths"; n ] -> (
+            match int_of_string_opt n with
+            | Some v when v > 0 -> v
+            | _ ->
+                fail ~filename ~lineno:conn.lineno
+                  "expected a positive path count, got %S" n)
+        | _ ->
+            fail ~filename ~lineno:conn.lineno
+              "expected 'paths <n>', got %S" l)
+    | None ->
+        fail ~filename ~lineno:conn.lineno "truncated trace: missing \
+                                            'paths <n>' line"
+  in
+  let conn = { conn with paths } in
+  Source ((module Trace_source), conn)
+
+let of_trace_file path =
+  if path = "-" then of_trace_channel ~filename:"<stdin>" stdin
+  else
+    of_trace_channel ~filename:path ~owns_channel:true (open_in path)
+
+(* ------------------------------------------------------------------ *)
+(* Replaying a batch observations matrix interval by interval           *)
+(* ------------------------------------------------------------------ *)
+
+type obs_conn = { obs : Tomo.Observations.t; mutable cursor : int }
+
+module Obs_source = struct
+  type conn = obs_conn
+
+  let n_paths c = Tomo.Observations.n_paths c.obs
+
+  let next c =
+    if c.cursor >= Tomo.Observations.t_intervals c.obs then None
+    else begin
+      let good =
+        Tomo.Observations.good_paths_at c.obs ~interval:c.cursor
+      in
+      c.cursor <- c.cursor + 1;
+      Some good
+    end
+
+  let close _ = ()
+end
+
+let of_observations obs = Source ((module Obs_source), { obs; cursor = 0 })
+let of_observations_file path = of_observations (Tomo.Observations_io.load path)

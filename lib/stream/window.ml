@@ -1,0 +1,77 @@
+module Bitset = Tomo_util.Bitset
+
+type t = {
+  capacity : int;
+  n_paths : int;
+  columns : Bitset.t array;  (* ring slot -> that interval's good paths *)
+  obs : Tomo.Observations.t;  (* row view over the same slots *)
+  mutable ticks : int;
+}
+
+let create ~capacity ~n_paths =
+  if capacity <= 0 then invalid_arg "Window.create: no capacity";
+  if n_paths <= 0 then invalid_arg "Window.create: no paths";
+  {
+    capacity;
+    n_paths;
+    columns = Array.init capacity (fun _ -> Bitset.create n_paths);
+    obs = Tomo.Observations.create ~t_intervals:capacity ~n_paths;
+    ticks = 0;
+  }
+
+let capacity t = t.capacity
+let n_paths t = t.n_paths
+let ticks t = t.ticks
+let occupancy t = min t.ticks t.capacity
+let is_full t = t.ticks >= t.capacity
+let observations t = t.obs
+
+(* The slot the next batch lands in; once the ring is full this is also
+   the slot holding the oldest interval. *)
+let cursor t = t.ticks mod t.capacity
+
+let push t good =
+  if Bitset.length good <> t.n_paths then
+    invalid_arg "Window.push: batch has wrong path capacity";
+  let slot = cursor t in
+  let evicted = if is_full t then Some t.columns.(slot) else None in
+  Tomo.Observations.set_interval_statuses t.obs ~interval:slot ~good;
+  t.columns.(slot) <- good;
+  t.ticks <- t.ticks + 1;
+  evicted
+
+let column t ~slot =
+  if slot < 0 || slot >= occupancy t then
+    invalid_arg "Window.column: slot out of range";
+  t.columns.(slot)
+
+let iter_columns f t =
+  for slot = 0 to occupancy t - 1 do
+    f t.columns.(slot)
+  done
+
+let always_good_paths t =
+  let b = Bitset.create t.n_paths in
+  let full = occupancy t in
+  for p = 0 to t.n_paths - 1 do
+    if Tomo.Observations.good_count t.obs ~path:p = full then Bitset.set b p
+  done;
+  b
+
+let restore ~capacity ~n_paths ~ticks ~columns =
+  if ticks < 0 then invalid_arg "Window.restore: negative tick count";
+  let t = create ~capacity ~n_paths in
+  let filled = min ticks capacity in
+  if Array.length columns <> filled then
+    invalid_arg
+      (Printf.sprintf "Window.restore: expected %d columns, got %d" filled
+         (Array.length columns));
+  Array.iteri
+    (fun slot good ->
+      if Bitset.length good <> n_paths then
+        invalid_arg "Window.restore: column has wrong path capacity";
+      Tomo.Observations.set_interval_statuses t.obs ~interval:slot ~good;
+      t.columns.(slot) <- good)
+    columns;
+  t.ticks <- ticks;
+  t

@@ -259,6 +259,36 @@ let test_snapshot_json_shape () =
       "\"buckets\":";
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Streaming engine metrics reach the same sink                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_metrics_exported () =
+  with_metrics @@ fun () ->
+  let model = Tomo.Toy.case1 () in
+  let engine = Tomo_stream.Engine.create ~model ~window:2 () in
+  for _ = 1 to 3 do
+    let col = Tomo_util.Bitset.create model.Tomo.Model.n_paths in
+    Tomo_util.Bitset.set_all col;
+    ignore (Tomo_stream.Engine.ingest engine col)
+  done;
+  let json = Sink.snapshot_json (Metrics.snapshot ()) in
+  check_bool "balanced JSON" true (json_balanced json);
+  (* counters count what happened: 3 ingests, 2 full-window estimates *)
+  check_bool "stream_ticks counted" true
+    (contains ~needle:"\"stream_ticks\":3" json);
+  check_bool "stream_estimates counted" true
+    (contains ~needle:"\"stream_estimates\":2" json);
+  (* window gauges reflect the steady state *)
+  check_bool "occupancy gauge" true
+    (contains ~needle:"\"stream_window_occupancy\":2" json);
+  check_bool "capacity gauge" true
+    (contains ~needle:"\"stream_window_capacity\":2" json);
+  (* latency histograms observed at least once *)
+  List.iter
+    (fun h -> check_bool h true (contains ~needle:("\"" ^ h ^ "\":") json))
+    [ "stream_tick_s"; "stream_solve_s" ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -293,5 +323,7 @@ let () =
             test_spans_jsonl_shape;
           Alcotest.test_case "metrics snapshot as JSON" `Quick
             test_snapshot_json_shape;
+          Alcotest.test_case "streaming engine metrics exported" `Quick
+            test_stream_metrics_exported;
         ] );
     ]

@@ -34,7 +34,7 @@ let test_map_order () =
             (Printf.sprintf "jobs=%d n=%d" jobs n)
             (Array.map (fun i -> (3 * i) + 1) xs)
             ys)
-        [ 0; 1; 2; 7; 100 ])
+        [ 0; 1; 2; 7; 100; 1000 ])
     [ 1; 2; 4 ]
 
 let test_map_matches_sequential_shuffle () =
