@@ -26,6 +26,9 @@ module Fig4 = Tomo_experiments.Fig4
 module Render = Tomo_experiments.Render
 module Scenario = Tomo_netsim.Scenario
 module Matrix = Tomo_linalg.Matrix
+module Gauss = Tomo_linalg.Gauss
+module Sparse = Tomo_linalg.Sparse
+module Sparse_gauss = Tomo_linalg.Sparse_gauss
 module Nullspace = Tomo_linalg.Nullspace
 module Rng = Tomo_util.Rng
 
@@ -98,6 +101,61 @@ let interval_inputs w =
   let obs = w.W.obs in
   (Tomo.Observations.congested_paths_at obs ~interval:0,
    Tomo.Observations.good_paths_at obs ~interval:0)
+
+(* Paper-scale incidence fixture for the sparse-kernel benchmarks: ~400
+   correlation-subset variables, 520 equations, each touching a short
+   block of consecutive variables (the shape Algorithm 1's selections
+   produce once subsets are numbered in discovery order).  Density ≈ 2%,
+   comfortably under the routing threshold. *)
+let paper_incidence =
+  lazy
+    (let nvars = 400 and nrows = 520 in
+     let rng = Rng.create 11 in
+     let idxs =
+       Array.init nrows (fun i ->
+           let base = i * 7 mod (nvars - 8) in
+           let cols = ref [] in
+           for k = 7 downto 0 do
+             if k = 0 || Rng.bool rng ~p:0.75 then cols := (base + k) :: !cols
+           done;
+           Array.of_list !cols)
+     in
+     let sp = Sparse.of_incidence ~rows:nrows ~cols:nvars idxs in
+     (sp, Sparse.to_matrix sp))
+
+(* The guarantee the routing relies on, checked on the bench workload
+   every run (CI greps for the OK line): the sparse elimination must be
+   bit-identical to the dense one — same rank, same pivot columns, every
+   entry of the reduced matrix equal. *)
+let check_sparse_parity () =
+  let _, dense = Lazy.force paper_incidence in
+  let d = Gauss.rref_dense dense in
+  let s = Gauss.rref_sparse dense in
+  let entries_equal =
+    let ok = ref (Matrix.rows d.Gauss.reduced = Matrix.rows s.Gauss.reduced
+                  && Matrix.cols d.Gauss.reduced = Matrix.cols s.Gauss.reduced)
+    in
+    if !ok then
+      for i = 0 to Matrix.rows d.Gauss.reduced - 1 do
+        for j = 0 to Matrix.cols d.Gauss.reduced - 1 do
+          if Matrix.get d.Gauss.reduced i j <> Matrix.get s.Gauss.reduced i j
+          then ok := false
+        done
+      done;
+    !ok
+  in
+  if
+    d.Gauss.rank = s.Gauss.rank
+    && d.Gauss.pivot_cols = s.Gauss.pivot_cols
+    && entries_equal
+  then Format.fprintf ppf "sparse rref parity: OK@."
+  else
+    failwith
+      (Printf.sprintf
+         "sparse rref parity: FAILED (dense rank %d, sparse rank %d, \
+          entries %s)"
+         d.Gauss.rank s.Gauss.rank
+         (if entries_equal then "equal" else "diverged"))
 
 let bench_tests () =
   let w = Lazy.force fixture in
@@ -229,8 +287,23 @@ let bench_tests () =
         (Staged.stage (fun () -> Nullspace.basis stacked));
     ]
   in
+  (* Sparse-vs-dense elimination on the paper-scale incidence fixture:
+     the dense pair quantifies what the auto-routing buys. *)
+  let paper_sparse, paper_dense = Lazy.force paper_incidence in
+  let sparse_tests =
+    [
+      Test.make ~name:"kernel/sparse-rref"
+        (Staged.stage (fun () -> Sparse_gauss.rref paper_sparse));
+      Test.make ~name:"kernel/dense-rref-paper"
+        (Staged.stage (fun () -> Gauss.rref_dense paper_dense));
+      Test.make ~name:"kernel/sparse-nullspace"
+        (Staged.stage (fun () -> Nullspace.basis ~backend:`Sparse paper_dense));
+      Test.make ~name:"kernel/nullspace-recompute-dense-paper"
+        (Staged.stage (fun () -> Nullspace.basis ~backend:`Dense paper_dense));
+    ]
+  in
   Test.make_grouped ~name:"tomo" ~fmt:"%s %s"
-    (fig3_tests @ fig4_tests @ kernel_tests)
+    (fig3_tests @ fig4_tests @ kernel_tests @ sparse_tests)
 
 let run_benchmarks () =
   Format.fprintf ppf
@@ -366,6 +439,7 @@ let () =
      with exactly the instrumentation cost the sinks asked for. *)
   let metrics_were_enabled = Tomo_obs.Metrics.enabled () in
   Tomo_obs.Metrics.set_enabled true;
+  check_sparse_parity ();
   if enabled "TOMO_BENCH_FIGURES" then reproduction_pass ();
   let pipeline_snapshot = Tomo_obs.Metrics.snapshot () in
   Tomo_obs.Metrics.set_enabled metrics_were_enabled;

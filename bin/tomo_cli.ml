@@ -71,6 +71,18 @@ let jobs_arg =
            forces sequential execution; results are identical either \
            way.")
 
+let sparse_threshold_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sparse-threshold" ] ~docv:"D"
+        ~doc:
+          "Route auto-dispatched elimination through the sparse kernel \
+           when the system density is at most $(docv) (default 0.25; 0 \
+           forces the dense kernel everywhere; same as \
+           TOMO_SPARSE_THRESHOLD). Results are bit-identical either \
+           way.")
+
 let metrics_out_arg =
   Arg.(
     value
@@ -83,7 +95,8 @@ let metrics_out_arg =
 (* Configure the observability sinks from the CLI flags (falling back to
    the TOMO_TRACE / TOMO_METRICS_OUT environment) and flush them once
    the command is done. *)
-let with_obs jobs trace metrics_out f =
+let with_obs sparse jobs trace metrics_out f =
+  Option.iter Tomo_linalg.Sparse.set_density_threshold sparse;
   Option.iter Tomo_par.Pool.set_default_jobs jobs;
   Tomo_obs.Sink.init
     ?trace:(if trace then Some Tomo_obs.Sink.Trace_human else None)
@@ -513,19 +526,19 @@ let all scale seed seeds csv =
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds jobs trace mout ->
-          with_obs jobs trace mout (fun () -> f scale seed seeds))
-      $ scale_arg $ seed_arg $ seeds_arg $ jobs_arg $ trace_arg
-      $ metrics_out_arg)
+      const (fun scale seed seeds sparse jobs trace mout ->
+          with_obs sparse jobs trace mout (fun () -> f scale seed seeds))
+      $ scale_arg $ seed_arg $ seeds_arg $ sparse_threshold_arg $ jobs_arg
+      $ trace_arg $ metrics_out_arg)
 
 let cmd_csv name doc f =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds csv jobs trace mout ->
-          with_obs jobs trace mout (fun () -> f scale seed seeds csv))
-      $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ jobs_arg $ trace_arg
-      $ metrics_out_arg)
+      const (fun scale seed seeds csv sparse jobs trace mout ->
+          with_obs sparse jobs trace mout (fun () -> f scale seed seeds csv))
+      $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ sparse_threshold_arg
+      $ jobs_arg $ trace_arg $ metrics_out_arg)
 
 let gen_trace_cmd =
   Cmd.v
@@ -535,13 +548,13 @@ let gen_trace_cmd =
           stream as a replayable tomo-trace file.")
     Term.(
       const (fun scale seed topology scenario nonstationary intervals out
-                jobs trace mout ->
-          with_obs jobs trace mout (fun () ->
+                sparse jobs trace mout ->
+          with_obs sparse jobs trace mout (fun () ->
               run_gen_trace scale seed topology scenario nonstationary
                 intervals out))
       $ scale_arg $ seed_arg $ topology_arg $ scenario_arg
-      $ nonstationary_arg $ intervals_arg $ out_arg $ jobs_arg $ trace_arg
-      $ metrics_out_arg)
+      $ nonstationary_arg $ intervals_arg $ out_arg $ sparse_threshold_arg
+      $ jobs_arg $ trace_arg $ metrics_out_arg)
 
 let serve_cmd =
   Cmd.v
@@ -553,14 +566,15 @@ let serve_cmd =
           bit-identically.")
     Term.(
       const (fun scale seed topology replay window snapshot_in snapshot_out
-                snapshot_every max_ticks report_out progress jobs trace mout ->
-          with_obs jobs trace mout (fun () ->
+                snapshot_every max_ticks report_out progress sparse jobs
+                trace mout ->
+          with_obs sparse jobs trace mout (fun () ->
               run_serve scale seed topology replay window snapshot_in
                 snapshot_out snapshot_every max_ticks report_out progress))
       $ scale_arg $ seed_arg $ topology_arg $ replay_arg $ window_arg
       $ snapshot_in_arg $ snapshot_out_arg $ snapshot_every_arg
-      $ max_ticks_arg $ report_out_arg $ progress_arg $ jobs_arg $ trace_arg
-      $ metrics_out_arg)
+      $ max_ticks_arg $ report_out_arg $ progress_arg $ sparse_threshold_arg
+      $ jobs_arg $ trace_arg $ metrics_out_arg)
 
 let batch_report_cmd =
   Cmd.v
@@ -570,12 +584,13 @@ let batch_report_cmd =
           replay file and write the same tomo-report format as serve — \
           the two must diff equal.")
     Term.(
-      const (fun scale seed topology replay window report_out jobs trace
-                mout ->
-          with_obs jobs trace mout (fun () ->
+      const (fun scale seed topology replay window report_out sparse jobs
+                trace mout ->
+          with_obs sparse jobs trace mout (fun () ->
               run_batch_report scale seed topology replay window report_out))
       $ scale_arg $ seed_arg $ topology_arg $ replay_arg $ window_arg
-      $ report_out_arg $ jobs_arg $ trace_arg $ metrics_out_arg)
+      $ report_out_arg $ sparse_threshold_arg $ jobs_arg $ trace_arg
+      $ metrics_out_arg)
 
 let table2_cmd =
   Cmd.v

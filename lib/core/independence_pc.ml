@@ -1,6 +1,7 @@
 module Bitset = Tomo_util.Bitset
 module Cgls = Tomo_linalg.Cgls
 module Matrix = Tomo_linalg.Matrix
+module Sparse = Tomo_linalg.Sparse
 module Nullspace = Tomo_linalg.Nullspace
 
 type config = { max_pairs : int }
@@ -41,7 +42,10 @@ let compute ?(config = default_config) model obs =
       pools;
     let rows = Array.of_list (List.rev !rows) in
     let b = Array.of_list (List.rev !rhs) in
-    let z = Cgls.solve ~n_vars ~rows ~b () in
+    (* Baseline rows form a 0/1 incidence system; route it through the
+       sparse layer (bit-identical to the index-list CGLS). *)
+    let a = Sparse.of_incidence ~rows:(Array.length rows) ~cols:n_vars rows in
+    let z = Cgls.solve_sparse ~a ~b () in
     (* Identifiability via the incidence null space of the system. *)
     let nullspace =
       Array.fold_left

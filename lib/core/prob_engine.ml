@@ -1,5 +1,6 @@
 module Bitset = Tomo_util.Bitset
 module Cgls = Tomo_linalg.Cgls
+module Sparse = Tomo_linalg.Sparse
 module Obs = Tomo_obs
 
 let c_solves = Obs.Metrics.counter "prob_engine_solves"
@@ -18,7 +19,10 @@ let solve_b (selection : Algorithm1.selection) obs b =
   let rows =
     Array.map (fun r -> r.Eqn.vars) selection.Algorithm1.rows
   in
-  let values = Cgls.solve ~n_vars:n ~rows ~b () in
+  (* Incidence coefficients are exactly 1.0, so the sparse CGLS path
+     performs the same floating-point operations as the index-list one. *)
+  let a = Sparse.of_incidence ~rows:(Array.length rows) ~cols:n rows in
+  let values = Cgls.solve_sparse ~a ~b () in
   let identifiable =
     Array.init n (fun v -> Algorithm1.identifiable selection v)
   in

@@ -22,14 +22,12 @@ let scratch_key : scratch Domain.DLS.key =
 
 let ensure a n = if Array.length a >= n then a else Array.make n 0.0
 
-let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
-  let m = Array.length rows in
-  if Array.length b <> m then invalid_arg "Cgls.solve: size mismatch";
-  Array.iter
-    (Array.iter (fun j ->
-         if j < 0 || j >= n_vars then
-           invalid_arg "Cgls.solve: variable index out of range"))
-    rows;
+(* The CG iteration, abstracted over the matrix application: [solve]
+   instantiates it with incidence closures (coefficient 1 per index),
+   [solve_sparse] with general sparse rows.  Multiplying by a stored
+   coefficient of exactly 1.0 is the identity, so an incidence system
+   routed through either entry point yields bit-identical solutions. *)
+let solve_core ~m ~n_vars ~apply_a ~apply_at ~b ~max_iter ~tol =
   let max_iter =
     match max_iter with Some n -> n | None -> (4 * n_vars) + 100
   in
@@ -43,27 +41,6 @@ let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
     ws.sp <- ensure ws.sp n_vars;
     ws.sq <- ensure ws.sq m;
     let r = ws.sr and s = ws.ss and p = ws.sp and q = ws.sq in
-    (* A·v for incidence rows: per-row sum of selected coordinates. *)
-    let apply_a v out =
-      for i = 0 to m - 1 do
-        let row = Array.unsafe_get rows i in
-        let acc = ref 0.0 in
-        Array.iter (fun j -> acc := !acc +. Array.unsafe_get v j) row;
-        Array.unsafe_set out i !acc
-      done
-    in
-    (* Aᵀ·w: scatter row values onto their variables. *)
-    let apply_at w out =
-      Array.fill out 0 n_vars 0.0;
-      for i = 0 to m - 1 do
-        let wi = Array.unsafe_get w i in
-        if wi <> 0.0 then
-          Array.iter
-            (fun j ->
-              Array.unsafe_set out j (Array.unsafe_get out j +. wi))
-            (Array.unsafe_get rows i)
-      done
-    in
     let dot a b n =
       let acc = ref 0.0 in
       for i = 0 to n - 1 do
@@ -111,3 +88,67 @@ let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
     end;
     x
   end
+
+let solve ~n_vars ~rows ~b ?max_iter ?(tol = 1e-12) () =
+  let m = Array.length rows in
+  if Array.length b <> m then invalid_arg "Cgls.solve: size mismatch";
+  Array.iter
+    (Array.iter (fun j ->
+         if j < 0 || j >= n_vars then
+           invalid_arg "Cgls.solve: variable index out of range"))
+    rows;
+  (* A·v for incidence rows: per-row sum of selected coordinates. *)
+  let apply_a v out =
+    for i = 0 to m - 1 do
+      let row = Array.unsafe_get rows i in
+      let acc = ref 0.0 in
+      Array.iter (fun j -> acc := !acc +. Array.unsafe_get v j) row;
+      Array.unsafe_set out i !acc
+    done
+  in
+  (* Aᵀ·w: scatter row values onto their variables. *)
+  let apply_at w out =
+    Array.fill out 0 n_vars 0.0;
+    for i = 0 to m - 1 do
+      let wi = Array.unsafe_get w i in
+      if wi <> 0.0 then
+        Array.iter
+          (fun j ->
+            Array.unsafe_set out j (Array.unsafe_get out j +. wi))
+          (Array.unsafe_get rows i)
+    done
+  in
+  solve_core ~m ~n_vars ~apply_a ~apply_at ~b ~max_iter ~tol
+
+let solve_sparse ~a ~b ?max_iter ?(tol = 1e-12) () =
+  let m = Sparse.rows a and n_vars = Sparse.cols a in
+  if Array.length b <> m then
+    invalid_arg "Cgls.solve_sparse: size mismatch";
+  let apply_a v out =
+    for i = 0 to m - 1 do
+      let cols, vals, nnz = Sparse.row_view a i in
+      let acc = ref 0.0 in
+      for k = 0 to nnz - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get vals k
+              *. Array.unsafe_get v (Array.unsafe_get cols k))
+      done;
+      Array.unsafe_set out i !acc
+    done
+  in
+  let apply_at w out =
+    Array.fill out 0 n_vars 0.0;
+    for i = 0 to m - 1 do
+      let wi = Array.unsafe_get w i in
+      if wi <> 0.0 then begin
+        let cols, vals, nnz = Sparse.row_view a i in
+        for k = 0 to nnz - 1 do
+          let j = Array.unsafe_get cols k in
+          Array.unsafe_set out j
+            (Array.unsafe_get out j +. (wi *. Array.unsafe_get vals k))
+        done
+      end
+    done
+  in
+  solve_core ~m ~n_vars ~apply_a ~apply_at ~b ~max_iter ~tol

@@ -28,3 +28,18 @@ val solve :
   ?tol:float ->
   unit ->
   float array
+
+(** [solve_sparse ~a ~b ()] is {!solve} over a general sparse system
+    [a] ({!Sparse.t}, arbitrary coefficients).  On an incidence matrix
+    built with {!Sparse.of_incidence} (all coefficients exactly [1.0])
+    it performs the identical floating-point operations as [solve], so
+    the two entry points are interchangeable bit for bit — this is how
+    the probability-computation solves route through the sparse layer.
+    @raise Invalid_argument on size mismatch. *)
+val solve_sparse :
+  a:Sparse.t ->
+  b:float array ->
+  ?max_iter:int ->
+  ?tol:float ->
+  unit ->
+  float array

@@ -13,10 +13,30 @@ type rref = {
   rank : int;
 }
 
+(** Default pivot tolerance ([1e-10]), shared with
+    {!Sparse_gauss.rref}. *)
+val default_tol : float
+
 (** [rref ?tol m] computes the reduced row-echelon form.  [tol] (default
     [1e-10]) is the relative threshold below which a pivot candidate is
-    treated as zero. *)
+    treated as zero.
+
+    Routing: matrices with at least {!Sparse.auto_size_floor} entries
+    whose density is at or below {!Sparse.density_threshold} are
+    eliminated by the sparse kernel ({!Sparse_gauss.rref}); everything
+    else walks the dense rows.  Both kernels perform the identical
+    floating-point operations on nonzero entries, so the result is the
+    same bit for bit (up to the sign of zero entries) whichever path
+    runs. *)
 val rref : ?tol:float -> Matrix.t -> rref
+
+(** [rref_dense ?tol m] forces the dense kernel (benchmarks and
+    equivalence tests). *)
+val rref_dense : ?tol:float -> Matrix.t -> rref
+
+(** [rref_sparse ?tol m] forces the sparse kernel regardless of density:
+    converts, eliminates via {!Sparse_gauss.rref}, converts back. *)
+val rref_sparse : ?tol:float -> Matrix.t -> rref
 
 (** [rank ?tol m] is the numerical rank. *)
 val rank : ?tol:float -> Matrix.t -> int

@@ -9,10 +9,11 @@ let c_recomputes = Obs.Metrics.counter "nullspace_recomputes"
 let c_incremental = Obs.Metrics.counter "nullspace_incremental_updates"
 let c_rejections = Obs.Metrics.counter "nullspace_dependent_rejections"
 
-let basis ?tol m =
-  Obs.Metrics.incr c_recomputes;
-  let { Gauss.reduced; pivot_cols; rank } = Gauss.rref ?tol m in
-  let n = Matrix.cols m in
+(* Basis extraction from a reduced row-echelon form, abstracted over how
+   the reduced matrix is read — the dense path reads a [Matrix.t], the
+   sparse path reads the [Sparse.t] directly (no dense materialization
+   of the reduced system). *)
+let extract_basis ~n ~rank ~pivot_cols ~get =
   let is_pivot = Array.make n false in
   let pivot_row = Array.make n (-1) in
   List.iteri
@@ -32,11 +33,39 @@ let basis ?tol m =
       Matrix.set out fc k 1.0;
       Array.iteri
         (fun col piv ->
-          if piv >= 0 then
-            Matrix.set out col k (-.Matrix.get reduced piv fc))
+          if piv >= 0 then Matrix.set out col k (-.get piv fc))
         pivot_row)
     free_cols;
   out
+
+let basis ?tol ?(backend = `Auto) m =
+  Obs.Metrics.incr c_recomputes;
+  let nr = Matrix.rows m and n = Matrix.cols m in
+  let use_sparse =
+    match backend with
+    | `Sparse -> true
+    | `Dense -> false
+    | `Auto ->
+        nr * n >= Sparse.auto_size_floor
+        &&
+        let nnz = ref 0 in
+        for i = 0 to nr - 1 do
+          for j = 0 to n - 1 do
+            if Matrix.unsafe_get m i j <> 0.0 then incr nnz
+          done
+        done;
+        Sparse.prefers_sparse ~rows:nr ~cols:n ~nnz:!nnz
+  in
+  if use_sparse then
+    let { Sparse_gauss.reduced; pivot_cols; rank } =
+      Sparse_gauss.rref ?tol (Sparse.of_matrix m)
+    in
+    extract_basis ~n ~rank ~pivot_cols ~get:(fun piv fc ->
+        Sparse.get reduced piv fc)
+  else
+    let { Gauss.reduced; pivot_cols; rank } = Gauss.rref_dense ?tol m in
+    extract_basis ~n ~rank ~pivot_cols ~get:(fun piv fc ->
+        Matrix.get reduced piv fc)
 
 let nullity ?tol m = Matrix.cols (basis ?tol m)
 
@@ -78,10 +107,32 @@ let pick_pivot ~tol v p =
    and write the result straight into a fresh [nvars × (p-1)] matrix.
    Reads the pivot column in place — no [Matrix.col] scratch vector —
    and skips the inner loop entirely when a coefficient is zero (an
-   incidence row misses most columns). *)
+   incidence row misses most columns).  When the pivot column itself is
+   sparse — the common case for incidence bases — only its nonzero rows
+   are projected; the rest copy across unchanged, which is exactly what
+   the dense arithmetic computes for them ([x −. coeff · 0 = x]). *)
 let eliminate_matrix n v j =
   let nvars = Matrix.rows n and p = Matrix.cols n in
   let pivot = v.(j) in
+  let nnz = ref 0 in
+  for i = 0 to nvars - 1 do
+    if Matrix.unsafe_get n i j <> 0.0 then incr nnz
+  done;
+  let sparse = 2 * !nnz < nvars in
+  let idx =
+    if not sparse then [||]
+    else begin
+      let a = Array.make (max 1 !nnz) 0 in
+      let k = ref 0 in
+      for i = 0 to nvars - 1 do
+        if Matrix.unsafe_get n i j <> 0.0 then begin
+          a.(!k) <- i;
+          incr k
+        end
+      done;
+      a
+    end
+  in
   let out = Matrix.make nvars (p - 1) 0.0 in
   let dst = ref 0 in
   for k = 0 to p - 1 do
@@ -91,6 +142,16 @@ let eliminate_matrix n v j =
         for i = 0 to nvars - 1 do
           Matrix.unsafe_set out i !dst (Matrix.unsafe_get n i k)
         done
+      else if sparse then begin
+        for i = 0 to nvars - 1 do
+          Matrix.unsafe_set out i !dst (Matrix.unsafe_get n i k)
+        done;
+        for m = 0 to !nnz - 1 do
+          let i = Array.unsafe_get idx m in
+          Matrix.unsafe_set out i !dst
+            (Matrix.unsafe_get n i k -. (coeff *. Matrix.unsafe_get n i j))
+        done
+      end
       else
         for i = 0 to nvars - 1 do
           Matrix.unsafe_set out i !dst
@@ -153,6 +214,7 @@ type tracker = {
   cols : float array array; (* cols.(0..p-1), each of length nvars *)
   v : float array; (* scratch for r · N, length nvars *)
   weights : int array; (* weights.(i) = #{k | |cols.(k).(i)| > tol} *)
+  idx : int array; (* scratch: nonzero rows of the pivot column *)
 }
 
 let tracker ?(tol = default_tol) nvars =
@@ -167,6 +229,7 @@ let tracker ?(tol = default_tol) nvars =
         c);
     v = Array.make nvars 0.0;
     weights = Array.make nvars (if 1.0 > tol then 1 else 0);
+    idx = Array.make (max 1 nvars) 0;
   }
 
 let tracker_of_matrix ?(tol = default_tol) m =
@@ -180,37 +243,64 @@ let tracker_of_matrix ?(tol = default_tol) m =
     done;
     weights.(i) <- !w
   done;
-  { nvars; tol; p; cols; v = Array.make (max 1 p) 0.0; weights }
+  { nvars; tol; p; cols; v = Array.make (max 1 p) 0.0; weights;
+    idx = Array.make (max 1 nvars) 0 }
 
 let dim t = t.p
 let row_weight t i = t.weights.(i)
 
 (* Shared in-place elimination: [t.v.(0..p-1)] holds r · N.  Consumes
    the pivot column, projects the others in place, and keeps [weights]
-   current by watching each element cross the tolerance threshold. *)
+   current by watching each element cross the tolerance threshold.  Rows
+   where the pivot column is exactly zero are untouched by the dense
+   arithmetic ([x −. coeff · 0 = x], no weight transition), so when the
+   pivot column is sparse — it usually is over incidence systems — only
+   its nonzero rows are visited. *)
 let eliminate_in_place t j =
   let p = t.p and nvars = t.nvars and tol = t.tol in
   let v = t.v in
   let pivot = v.(j) in
   let nj = t.cols.(j) in
+  let idx = t.idx in
+  let nnz = ref 0 in
   for i = 0 to nvars - 1 do
-    if abs_float (Array.unsafe_get nj i) > tol then
-      t.weights.(i) <- t.weights.(i) - 1
+    let x = Array.unsafe_get nj i in
+    if x <> 0.0 then begin
+      Array.unsafe_set idx !nnz i;
+      incr nnz
+    end;
+    if abs_float x > tol then t.weights.(i) <- t.weights.(i) - 1
   done;
+  let nnz = !nnz in
+  let sparse = 2 * nnz < nvars in
   for k = 0 to p - 1 do
     if k <> j then begin
       let coeff = Array.unsafe_get v k /. pivot in
       if coeff <> 0.0 then begin
         let ck = t.cols.(k) in
-        for i = 0 to nvars - 1 do
-          let old_v = Array.unsafe_get ck i in
-          let new_v = old_v -. (coeff *. Array.unsafe_get nj i) in
-          Array.unsafe_set ck i new_v;
-          let was_nz = abs_float old_v > tol
-          and is_nz = abs_float new_v > tol in
-          if was_nz && not is_nz then t.weights.(i) <- t.weights.(i) - 1
-          else if is_nz && not was_nz then t.weights.(i) <- t.weights.(i) + 1
-        done
+        if sparse then
+          for m = 0 to nnz - 1 do
+            let i = Array.unsafe_get idx m in
+            let old_v = Array.unsafe_get ck i in
+            let new_v = old_v -. (coeff *. Array.unsafe_get nj i) in
+            Array.unsafe_set ck i new_v;
+            let was_nz = abs_float old_v > tol
+            and is_nz = abs_float new_v > tol in
+            if was_nz && not is_nz then t.weights.(i) <- t.weights.(i) - 1
+            else if is_nz && not was_nz then
+              t.weights.(i) <- t.weights.(i) + 1
+          done
+        else
+          for i = 0 to nvars - 1 do
+            let old_v = Array.unsafe_get ck i in
+            let new_v = old_v -. (coeff *. Array.unsafe_get nj i) in
+            Array.unsafe_set ck i new_v;
+            let was_nz = abs_float old_v > tol
+            and is_nz = abs_float new_v > tol in
+            if was_nz && not is_nz then t.weights.(i) <- t.weights.(i) - 1
+            else if is_nz && not was_nz then
+              t.weights.(i) <- t.weights.(i) + 1
+          done
       end
     end
   done;

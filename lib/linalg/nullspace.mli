@@ -8,10 +8,18 @@
     against the new row in [O(n·p)].  Both the from-scratch construction
     and the incremental update live here. *)
 
-(** [basis ?tol m] is an [n × p] matrix whose columns span the null space
-    of the [r × n] matrix [m] ([p] = nullity).  When the null space is
-    trivial the result has [0] columns. *)
-val basis : ?tol:float -> Matrix.t -> Matrix.t
+(** [basis ?tol ?backend m] is an [n × p] matrix whose columns span the
+    null space of the [r × n] matrix [m] ([p] = nullity).  When the null
+    space is trivial the result has [0] columns.
+
+    [backend] picks the elimination kernel: [`Auto] (default) applies
+    {!Sparse.prefers_sparse} — big, sparse systems eliminate via
+    {!Sparse_gauss} and extract the basis straight from the sparse
+    reduced form, everything else stays on {!Gauss.rref_dense};
+    [`Dense] and [`Sparse] force a kernel (benchmarks and equivalence
+    tests).  All three produce the same basis bit for bit. *)
+val basis :
+  ?tol:float -> ?backend:[ `Auto | `Dense | `Sparse ] -> Matrix.t -> Matrix.t
 
 (** [nullity ?tol m] is [cols (basis m)]. *)
 val nullity : ?tol:float -> Matrix.t -> int

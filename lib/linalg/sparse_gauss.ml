@@ -1,0 +1,65 @@
+module Obs = Tomo_obs
+
+(* Kernel observability: how often the sparse elimination runs and how
+   sparse its inputs actually are, so BENCH_perf.json trajectories show
+   whether the density threshold routes the paper-scale systems here. *)
+let c_rrefs = Obs.Metrics.counter "sparse_rref_calls"
+let h_nnz = Obs.Metrics.histogram "sparse_rref_input_nnz"
+let h_density = Obs.Metrics.histogram "sparse_rref_input_density"
+
+type rref = { reduced : Sparse.t; pivot_cols : int list; rank : int }
+
+let default_tol = 1e-10
+
+let rref ?(tol = default_tol) m =
+  Obs.Metrics.incr c_rrefs;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.observe h_nnz (float_of_int (Sparse.nnz m));
+    Obs.Metrics.observe h_density (Sparse.density m)
+  end;
+  let a = Sparse.copy m in
+  let nr = Sparse.rows a and nc = Sparse.cols a in
+  let scale = max 1.0 (Sparse.max_abs a) in
+  let threshold = tol *. scale in
+  let pivots = ref [] in
+  let r = ref 0 in
+  let j = ref 0 in
+  while !r < nr && !j < nc do
+    (* Partial pivoting: largest entry of column !j among rows >= !r,
+       first occurrence winning ties — the same scan order as the dense
+       kernel, over stored entries only.  The probes ride each row's
+       monotone cursor: !j only ever advances. *)
+    let best = ref !r in
+    let best_abs = ref (abs_float (Sparse.probe_mono a !r !j)) in
+    for i = !r + 1 to nr - 1 do
+      let v = abs_float (Sparse.probe_mono a i !j) in
+      if v > !best_abs then begin
+        best := i;
+        best_abs := v
+      end
+    done;
+    if !best_abs <= threshold then begin
+      (* Numerically zero column below row !r: drop its entries (the
+         dense kernel writes 0.0 over them) and move on. *)
+      Sparse.drop_col_entries a !j ~from_row:!r;
+      incr j
+    end
+    else begin
+      Sparse.swap_rows a !r !best;
+      let pivot = Sparse.get a !r !j in
+      Sparse.div_row a !r pivot;
+      for i = 0 to nr - 1 do
+        if i <> !r then begin
+          let factor = Sparse.probe_mono a i !j in
+          if factor <> 0.0 then
+            Sparse.sub_scaled_row a ~dst:i ~src:!r ~coeff:factor
+        end
+      done;
+      pivots := !j :: !pivots;
+      incr r;
+      incr j
+    end
+  done;
+  { reduced = a; pivot_cols = List.rev !pivots; rank = !r }
+
+let rank ?tol m = (rref ?tol m).rank

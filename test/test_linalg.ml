@@ -457,6 +457,254 @@ let prop_cgls_matches_qr_least_squares =
       in
       abs_float (resid x -. resid y) < 1e-6)
 
+(* ------------------------------------------------------------------ *)
+(* Sparse storage + sparse elimination                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Sparse = Tomo_linalg.Sparse
+module Sparse_gauss = Tomo_linalg.Sparse_gauss
+
+(* Exact per-entry equality (the bit-identity contract; OCaml [=] on
+   floats, so -0.0 = 0.0 — the one divergence the kernels allow). *)
+let matrices_exact a b =
+  Matrix.rows a = Matrix.rows b
+  && Matrix.cols a = Matrix.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Matrix.rows a - 1 do
+    for j = 0 to Matrix.cols a - 1 do
+      if Matrix.get a i j <> Matrix.get b i j then ok := false
+    done
+  done;
+  !ok
+
+let matrices_close ~tol a b =
+  Matrix.rows a = Matrix.rows b
+  && Matrix.cols a = Matrix.cols b
+  &&
+  let ok = ref true in
+  for i = 0 to Matrix.rows a - 1 do
+    for j = 0 to Matrix.cols a - 1 do
+      if abs_float (Matrix.get a i j -. Matrix.get b i j) > tol then
+        ok := false
+    done
+  done;
+  !ok
+
+let random_incidence rng r c p =
+  Matrix.init r c (fun _ _ -> if Rng.bool rng ~p then 1.0 else 0.0)
+
+let test_sparse_roundtrip () =
+  let rng = Rng.create 51 in
+  let m =
+    Matrix.init 7 9 (fun _ _ ->
+        if Rng.bool rng ~p:0.3 then Rng.uniform rng ~lo:(-2.) ~hi:2. else 0.0)
+  in
+  let a = Sparse.of_matrix m in
+  check_bool "round-trip" true (matrices_exact m (Sparse.to_matrix a));
+  let expected_nnz = ref 0 in
+  for i = 0 to 6 do
+    for j = 0 to 8 do
+      if Matrix.get m i j <> 0.0 then incr expected_nnz
+    done
+  done;
+  check_int "nnz" !expected_nnz (Sparse.nnz a);
+  checkf "density"
+    (float_of_int !expected_nnz /. 63.0)
+    (Sparse.density a);
+  check_bool "copy is deep" true
+    (let b = Sparse.copy a in
+     Sparse.swap_rows b 0 1;
+     matrices_exact m (Sparse.to_matrix a))
+
+let test_sparse_of_incidence () =
+  (* Unsorted indices are accepted and stored in column order. *)
+  let a = Sparse.of_incidence ~rows:2 ~cols:5 [| [| 3; 0; 2 |]; [||] |] in
+  let expect =
+    Matrix.of_rows
+      [| [| 1.; 0.; 1.; 1.; 0. |]; [| 0.; 0.; 0.; 0.; 0. |] |]
+  in
+  check_bool "incidence layout" true (matrices_exact expect (Sparse.to_matrix a));
+  check_int "row 0 nnz" 3 (Sparse.row_nnz a 0);
+  check_int "row 1 nnz" 0 (Sparse.row_nnz a 1);
+  Alcotest.check_raises "duplicate index"
+    (Invalid_argument "Sparse.of_incidence: duplicate index") (fun () ->
+      ignore (Sparse.of_incidence ~rows:1 ~cols:4 [| [| 1; 1 |] |]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Sparse.of_incidence: index out of range") (fun () ->
+      ignore (Sparse.of_incidence ~rows:1 ~cols:4 [| [| 4 |] |]))
+
+let test_sparse_row_ops () =
+  let m =
+    Matrix.of_rows [| [| 2.; 0.; 4. |]; [| 0.; 3.; 6. |]; [| 1.; 1.; 0. |] |]
+  in
+  let a = Sparse.of_matrix m in
+  Sparse.swap_rows a 0 2;
+  check_bool "swap" true
+    (matrices_exact
+       (Matrix.of_rows
+          [| [| 1.; 1.; 0. |]; [| 0.; 3.; 6. |]; [| 2.; 0.; 4. |] |])
+       (Sparse.to_matrix a));
+  Sparse.scale_row a 1 2.0;
+  checkf "scale" 6.0 (Sparse.get a 1 1);
+  Sparse.div_row a 1 3.0;
+  checkf "div" 2.0 (Sparse.get a 1 1);
+  (* dst ← dst − 2·src eliminates the (2,0) entry and fills (2,1). *)
+  Sparse.sub_scaled_row a ~dst:2 ~src:0 ~coeff:2.0;
+  checkf "eliminated" 0.0 (Sparse.get a 2 0);
+  checkf "fill-in" (-2.0) (Sparse.get a 2 1);
+  check_int "cancelled entry dropped" 2 (Sparse.row_nnz a 2);
+  Sparse.drop_col_entries a 1 ~from_row:1;
+  checkf "dropped" 0.0 (Sparse.get a 2 1);
+  checkf "kept above from_row" 1.0 (Sparse.get a 0 1)
+
+let test_sparse_routing_policy () =
+  let saved = Sparse.density_threshold () in
+  Fun.protect
+    ~finally:(fun () -> Sparse.set_density_threshold saved)
+    (fun () ->
+      Sparse.set_density_threshold 0.25;
+      check_bool "small stays dense" false
+        (Sparse.prefers_sparse ~rows:10 ~cols:10 ~nnz:1);
+      check_bool "big sparse routes sparse" true
+        (Sparse.prefers_sparse ~rows:100 ~cols:100 ~nnz:500);
+      check_bool "big dense stays dense" false
+        (Sparse.prefers_sparse ~rows:100 ~cols:100 ~nnz:5000);
+      Sparse.set_density_threshold 0.0;
+      check_bool "zero threshold disables" false
+        (Sparse.prefers_sparse ~rows:100 ~cols:100 ~nnz:1);
+      Sparse.set_density_threshold 7.0;
+      checkf "clamped to 1" 1.0 (Sparse.density_threshold ()))
+
+let prop_sparse_rref_bit_identical_incidence =
+  QCheck.Test.make
+    ~name:"sparse rref ≡ dense rref on 0/1 incidence matrices (exact)"
+    ~count:120
+    QCheck.(triple (int_range 1 18) (int_range 1 24) (int_range 0 10_000))
+    (fun (r, c, seed) ->
+      let rng = Rng.create (seed + 17_000) in
+      let m = random_incidence rng r c 0.2 in
+      let d = Gauss.rref_dense m in
+      let s = Sparse_gauss.rref (Sparse.of_matrix m) in
+      d.Gauss.rank = s.Sparse_gauss.rank
+      && d.Gauss.pivot_cols = s.Sparse_gauss.pivot_cols
+      && matrices_exact d.Gauss.reduced
+           (Sparse.to_matrix s.Sparse_gauss.reduced))
+
+let prop_sparse_rref_matches_dense_random =
+  QCheck.Test.make
+    ~name:"sparse rref matches dense on dense-random controls (1e-9)"
+    ~count:120
+    QCheck.(triple (int_range 1 12) (int_range 1 12) (int_range 0 10_000))
+    (fun (r, c, seed) ->
+      let rng = Rng.create (seed + 19_000) in
+      (* Half-dense real entries: well above the routing threshold, so
+         this exercises the kernel itself, not the router. *)
+      let m =
+        Matrix.init r c (fun _ _ ->
+            if Rng.bool rng ~p:0.5 then Rng.uniform rng ~lo:(-3.) ~hi:3.
+            else 0.0)
+      in
+      let d = Gauss.rref_dense m in
+      let s = Sparse_gauss.rref (Sparse.of_matrix m) in
+      d.Gauss.rank = s.Sparse_gauss.rank
+      && d.Gauss.pivot_cols = s.Sparse_gauss.pivot_cols
+      && matrices_close ~tol:1e-9 d.Gauss.reduced
+           (Sparse.to_matrix s.Sparse_gauss.reduced))
+
+let prop_sparse_nullspace_same_kernel =
+  QCheck.Test.make
+    ~name:"sparse Nullspace.basis spans the same kernel as dense"
+    ~count:80
+    QCheck.(triple (int_range 1 10) (int_range 2 14) (int_range 0 10_000))
+    (fun (r, c, seed) ->
+      let rng = Rng.create (seed + 23_000) in
+      let m = random_incidence rng r c 0.25 in
+      let nd = Nullspace.basis ~backend:`Dense m in
+      let ns = Nullspace.basis ~backend:`Sparse m in
+      let p = Matrix.cols nd in
+      Matrix.cols ns = p
+      && (p = 0 || Matrix.max_abs (Matrix.mul m ns) < 1e-9)
+      && (p = 0
+         ||
+         (* Mutual expressibility: stacking the two bases adds no new
+            directions, so each spans the other. *)
+         let both =
+           Matrix.init c (2 * p) (fun i j ->
+               if j < p then Matrix.get nd i j else Matrix.get ns i (j - p))
+         in
+         Gauss.rank both = p))
+
+let prop_cgls_sparse_bit_identical =
+  QCheck.Test.make
+    ~name:"Cgls.solve_sparse ≡ Cgls.solve on incidence systems (exact)"
+    ~count:80
+    QCheck.(triple (int_range 1 10) (int_range 1 8) (int_range 0 10_000))
+    (fun (m, n, seed) ->
+      let rng = Rng.create (seed + 29_000) in
+      let rows =
+        Array.init m (fun _ ->
+            let r = ref [] in
+            for j = n - 1 downto 0 do
+              if Rng.bool rng ~p:0.5 then r := j :: !r
+            done;
+            Array.of_list !r)
+      in
+      let b = Array.init m (fun _ -> Rng.uniform rng ~lo:(-2.) ~hi:2.) in
+      let x = Cgls.solve ~n_vars:n ~rows ~b () in
+      let a = Sparse.of_incidence ~rows:m ~cols:n rows in
+      let y = Cgls.solve_sparse ~a ~b () in
+      Array.for_all2 (fun u v -> u = v) x y)
+
+(* Gauss edge cases pinning the kernels the sparse layer must mirror. *)
+
+let test_gauss_edge_1x1 () =
+  let one = Gauss.rref (Matrix.of_rows [| [| 5.0 |] |]) in
+  check_int "1x1 rank" 1 one.Gauss.rank;
+  checkf "normalized pivot" 1.0 (Matrix.get one.Gauss.reduced 0 0);
+  check_bool "pivot col" true (one.Gauss.pivot_cols = [ 0 ]);
+  let zero = Gauss.rref (Matrix.of_rows [| [| 0.0 |] |]) in
+  check_int "1x1 zero rank" 0 zero.Gauss.rank;
+  check_bool "no pivots" true (zero.Gauss.pivot_cols = [])
+
+let test_gauss_all_zero () =
+  let m = Matrix.make 3 4 0.0 in
+  let d = Gauss.rref_dense m in
+  let s = Sparse_gauss.rref (Sparse.of_matrix m) in
+  check_int "zero rank (dense)" 0 d.Gauss.rank;
+  check_int "zero rank (sparse)" 0 s.Sparse_gauss.rank;
+  check_bool "reduced stays zero" true
+    (matrices_exact m (Sparse.to_matrix s.Sparse_gauss.reduced));
+  check_int "full nullity" 4 (Nullspace.nullity m)
+
+let test_gauss_singular_inverse () =
+  let a = Matrix.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |] in
+  Alcotest.check_raises "singular inverse"
+    (Failure "Gauss.inverse: singular matrix") (fun () ->
+      ignore (Gauss.inverse a));
+  Alcotest.check_raises "singular solve"
+    (Failure "Gauss.solve: singular matrix") (fun () ->
+      ignore (Gauss.solve a [| 1.; 2. |]))
+
+let test_gauss_tolerance_scaling () =
+  (* The rank tolerance is relative to the largest entry, so scaling a
+     matrix by 1e8 must not change rank or pivot choice — on either
+     kernel. *)
+  let rng = Rng.create 61 in
+  let m = random_incidence rng 9 12 0.3 in
+  let big = Matrix.init 9 12 (fun i j -> 1e8 *. Matrix.get m i j) in
+  let d = Gauss.rref_dense m and dbig = Gauss.rref_dense big in
+  check_int "dense rank invariant" d.Gauss.rank dbig.Gauss.rank;
+  check_bool "dense pivots invariant" true
+    (d.Gauss.pivot_cols = dbig.Gauss.pivot_cols);
+  let s = Sparse_gauss.rref (Sparse.of_matrix m) in
+  let sbig = Sparse_gauss.rref (Sparse.of_matrix big) in
+  check_int "sparse rank invariant" s.Sparse_gauss.rank
+    sbig.Sparse_gauss.rank;
+  check_bool "sparse pivots invariant" true
+    (s.Sparse_gauss.pivot_cols = sbig.Sparse_gauss.pivot_cols);
+  check_int "dense = sparse" d.Gauss.rank s.Sparse_gauss.rank
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "linalg"
@@ -528,5 +776,26 @@ let () =
             test_cgls_overdetermined_mean;
           Alcotest.test_case "validation" `Quick test_cgls_validation;
           qc prop_cgls_matches_qr_least_squares;
+        ] );
+      ( "gauss-edge",
+        [
+          Alcotest.test_case "1x1 matrices" `Quick test_gauss_edge_1x1;
+          Alcotest.test_case "all-zero matrix" `Quick test_gauss_all_zero;
+          Alcotest.test_case "singular solve/inverse raise" `Quick
+            test_gauss_singular_inverse;
+          Alcotest.test_case "tolerance scales with magnitude" `Quick
+            test_gauss_tolerance_scaling;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "dense round-trip" `Quick test_sparse_roundtrip;
+          Alcotest.test_case "of_incidence" `Quick test_sparse_of_incidence;
+          Alcotest.test_case "row operations" `Quick test_sparse_row_ops;
+          Alcotest.test_case "routing policy" `Quick
+            test_sparse_routing_policy;
+          qc prop_sparse_rref_bit_identical_incidence;
+          qc prop_sparse_rref_matches_dense_random;
+          qc prop_sparse_nullspace_same_kernel;
+          qc prop_cgls_sparse_bit_identical;
         ] );
     ]

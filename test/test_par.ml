@@ -154,12 +154,6 @@ let test_fig4a_bit_identical () =
   Pool.set_default_jobs 1;
   check_bool "fig4a -j1 == -j4" true (seq = par)
 
-(* ------------------------------------------------------------------ *)
-(* Tracker == functional null-space update                             *)
-(* ------------------------------------------------------------------ *)
-
-let random_01_row rng n p = Array.init n (fun _ -> if Rng.bool rng ~p then 1.0 else 0.0)
-
 let matrices_equal a b =
   Matrix.rows a = Matrix.rows b
   && Matrix.cols a = Matrix.cols b
@@ -171,6 +165,53 @@ let matrices_equal a b =
     done
   done;
   !ok
+
+(* Sparse-kernel path under the pool: every worker runs the sparse
+   elimination and a sparse CGLS solve (per-domain DLS scratch) on its
+   own systems; results must be bit-equal to the sequential run.  This
+   guards against scratch sharing leaking across domains. *)
+let test_sparse_kernel_bit_identical () =
+  let module Sparse = Tomo_linalg.Sparse in
+  let module Sparse_gauss = Tomo_linalg.Sparse_gauss in
+  let module Cgls = Tomo_linalg.Cgls in
+  let n_tasks = 16 in
+  let run_task seed =
+    let rng = Rng.create (1000 + seed) in
+    let nvars = 60 and nrows = 75 in
+    let idxs =
+      Array.init nrows (fun _ ->
+          let r = ref [] in
+          for j = nvars - 1 downto 0 do
+            if Rng.bool rng ~p:0.1 then r := j :: !r
+          done;
+          Array.of_list !r)
+    in
+    let a = Sparse.of_incidence ~rows:nrows ~cols:nvars idxs in
+    let { Sparse_gauss.reduced; pivot_cols; rank } = Sparse_gauss.rref a in
+    let b = Array.init nrows (fun _ -> Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+    let x = Cgls.solve_sparse ~a ~b () in
+    let basis = Nullspace.basis ~backend:`Sparse (Sparse.to_matrix a) in
+    (Sparse.to_matrix reduced, pivot_cols, rank, x, basis)
+  in
+  let seeds = Array.init n_tasks (fun i -> i) in
+  let seq = Array.map run_task seeds in
+  with_pool 4 @@ fun pool ->
+  let par = Pool.parallel_map ~pool run_task seeds in
+  Array.iteri
+    (fun i (rd, pc, rk, x, bs) ->
+      let rd', pc', rk', x', bs' = par.(i) in
+      check_bool "reduced" true (matrices_equal rd rd');
+      check_bool "pivots" true (pc = pc');
+      check_int "rank" rk rk';
+      check_bool "cgls solution" true (x = x');
+      check_bool "nullspace basis" true (matrices_equal bs bs'))
+    seq
+
+(* ------------------------------------------------------------------ *)
+(* Tracker == functional null-space update                             *)
+(* ------------------------------------------------------------------ *)
+
+let random_01_row rng n p = Array.init n (fun _ -> if Rng.bool rng ~p then 1.0 else 0.0)
 
 (* Feed the same random 0/1 rows to (a) the functional [update] chain
    and (b) the in-place tracker; they must agree exactly — same accept/
@@ -254,6 +295,8 @@ let () =
             test_fig3_bit_identical;
           Alcotest.test_case "fig4a bit-identical" `Slow
             test_fig4a_bit_identical;
+          Alcotest.test_case "sparse kernels bit-identical" `Quick
+            test_sparse_kernel_bit_identical;
         ] );
       ( "tracker",
         [
