@@ -25,6 +25,9 @@ module Fig3 = Tomo_experiments.Fig3
 module Fig4 = Tomo_experiments.Fig4
 module Render = Tomo_experiments.Render
 module Scenario = Tomo_netsim.Scenario
+module Run = Tomo_netsim.Run
+module Pool = Tomo_par.Pool
+module Bitset = Tomo_util.Bitset
 module Matrix = Tomo_linalg.Matrix
 module Gauss = Tomo_linalg.Gauss
 module Sparse = Tomo_linalg.Sparse
@@ -156,6 +159,77 @@ let check_sparse_parity () =
           entries %s)"
          d.Gauss.rank s.Gauss.rank
          (if entries_equal then "equal" else "diverged"))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel interval simulation: bit-equality guarantee + wall-clock   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Run.run] fans the interval loop over the domain pool; the contract
+   (lib/netsim/run.mli) is that the result is bit-identical whatever the
+   worker count.  Checked here on every bench run with probe-based
+   measurement so both the state and loss RNG streams are exercised (CI
+   greps for the OK line). *)
+let run_fingerprint (r : Run.result) =
+  ( Array.map Bitset.to_list r.Run.link_congested,
+    Array.map Bitset.to_list r.Run.path_good,
+    List.map (fun (e : Run.epoch) -> (e.Run.length, e.Run.probs)) r.Run.epochs
+  )
+
+let simulate ~overlay ~t ~seed =
+  let rng = Rng.create seed in
+  let scenario =
+    Scenario.make overlay ~kind:Scenario.Random ~frac:0.1
+      ~rng:(Rng.split rng ~label:"scenario")
+  in
+  Run.run ~scenario
+    ~dynamics:(Run.Redraw_every (max 2 (t / 200)))
+    ~measurement:(Run.Probes { per_path = 20; f = 0.01 })
+    ~t_intervals:t
+    ~rng:(Rng.split rng ~label:"run")
+
+let check_sim_parity () =
+  let overlay = (Lazy.force fixture).W.overlay in
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 1;
+  let a = run_fingerprint (simulate ~overlay ~t:120 ~seed:13) in
+  Pool.set_default_jobs 4;
+  let b = run_fingerprint (simulate ~overlay ~t:120 ~seed:13) in
+  Pool.set_default_jobs saved;
+  if a = b then Format.fprintf ppf "sim -j1 == -j4 bit-equality: OK@."
+  else failwith "sim -j1 == -j4 bit-equality: FAILED"
+
+(* Wall-clock scaling of the simulation itself on the paper-scale cell
+   (Brite default topology, 1000 intervals — the Fig. 4 setting): one
+   timed [Run.run] at 1 worker vs 4.  Skip with TOMO_BENCH_SIM=0. *)
+let sim_parallel_pass () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf "Parallel interval simulation (paper scale, t=1000)@.";
+  Format.fprintf ppf
+    "==================================================================@.";
+  let overlay =
+    Tomo_topology.Brite.generate ~params:Tomo_topology.Brite.default ~seed:9 ()
+  in
+  let t = 1000 in
+  let saved = Pool.default_jobs () in
+  let time_at jobs =
+    Pool.set_default_jobs jobs;
+    let best = ref infinity in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      ignore (simulate ~overlay ~t ~seed:29);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let j1 = time_at 1 in
+  let j4 = time_at 4 in
+  Pool.set_default_jobs saved;
+  let speedup = j1 /. j4 in
+  Format.fprintf ppf "sim/run-paper -j1: %.2f s@." j1;
+  Format.fprintf ppf "sim/run-paper -j4: %.2f s@." j4;
+  Format.fprintf ppf "sim/run-paper speedup at 4 domains: %.2fx@.@." speedup;
+  (t, j1, j4, speedup)
 
 let bench_tests () =
   let w = Lazy.force fixture in
@@ -387,7 +461,7 @@ let json_escape s =
 let json_float f =
   if Float.is_nan f then "null" else Printf.sprintf "%.6g" f
 
-let write_bench_json ~rows ~snapshot =
+let write_bench_json ~rows ~sim ~snapshot =
   match bench_json_path () with
   | None -> ()
   | Some path ->
@@ -407,6 +481,13 @@ let write_bench_json ~rows ~snapshot =
             (json_escape name) (json_float ns) (json_float r2))
         rows;
       Buffer.add_string b "\n  ],\n";
+      (match sim with
+      | None -> ()
+      | Some (t_intervals, j1, j4, speedup) ->
+          Printf.bprintf b
+            "  \"sim_run_paper\": {\"t_intervals\": %d, \"j1_s\": %s, \
+             \"j4_s\": %s, \"speedup_j4\": %s},\n"
+            t_intervals (json_float j1) (json_float j4) (json_float speedup));
       Printf.bprintf b "  \"metrics\": %s\n"
         (Tomo_obs.Sink.snapshot_json snapshot);
       Buffer.add_string b "}\n";
@@ -440,12 +521,27 @@ let () =
   let metrics_were_enabled = Tomo_obs.Metrics.enabled () in
   Tomo_obs.Metrics.set_enabled true;
   check_sparse_parity ();
+  check_sim_parity ();
   if enabled "TOMO_BENCH_FIGURES" then reproduction_pass ();
   let pipeline_snapshot = Tomo_obs.Metrics.snapshot () in
   Tomo_obs.Metrics.set_enabled metrics_were_enabled;
   let rows =
     if enabled "TOMO_BENCH_PERF" then run_benchmarks () else []
   in
+  let sim =
+    if enabled "TOMO_BENCH_SIM" then Some (sim_parallel_pass ()) else None
+  in
+  let rows =
+    rows
+    @
+    match sim with
+    | None -> []
+    | Some (_, j1, j4, _) ->
+        [
+          ("sim/run-paper-j1", j1 *. 1e9, nan);
+          ("sim/run-paper-j4", j4 *. 1e9, nan);
+        ]
+  in
   emit_metrics_snapshot ();
-  write_bench_json ~rows ~snapshot:pipeline_snapshot;
+  write_bench_json ~rows ~sim ~snapshot:pipeline_snapshot;
   Format.fprintf ppf "@.done.@."

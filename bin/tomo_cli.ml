@@ -66,10 +66,11 @@ let jobs_arg =
     & opt (some int) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Run experiment cells on $(docv) domains (default: \
-           TOMO_JOBS, or one less than the available cores). $(docv)=1 \
-           forces sequential execution; results are identical either \
-           way.")
+          "Run experiment cells — and the per-interval probe \
+           simulation inside each cell, including gen-trace — on \
+           $(docv) domains (default: TOMO_JOBS, or one less than the \
+           available cores). $(docv)=1 forces sequential execution; \
+           results are bit-identical either way.")
 
 let sparse_threshold_arg =
   Arg.(

@@ -109,6 +109,10 @@ let prepare spec =
     if spec.nonstationary then Run.Redraw_every (max 2 (t / 200))
     else Run.Stationary
   in
+  (* [Run.run] fans its interval loop over the same domain pool the
+     experiment engine uses for cell fan-out; the pool supports nested
+     parallel_map (outer waiters lend a hand), so cells and intervals
+     share one worker budget without deadlock or oversubscription. *)
   let run =
     Run.run ~scenario ~dynamics ~measurement:spec.measurement ~t_intervals:t
       ~rng:(Rng.split rng ~label:"run")

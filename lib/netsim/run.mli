@@ -19,7 +19,13 @@ type dynamics =
       (** the paper's "No Stationarity": re-draw the congestion
           probabilities of the congestible links every [k] intervals *)
 
-type epoch = { length : int; probs : float array }
+type epoch = {
+  length : int;
+  probs : float array;
+  model : Factor_model.t;
+      (** the factor model those probabilities induce, built once at
+          simulation time and reused by the [true_*] accessors *)
+}
 
 type result = {
   overlay : Tomo_topology.Overlay.t;
@@ -34,8 +40,12 @@ type result = {
 }
 
 (** [run ~scenario ~dynamics ~measurement ~t_intervals ~rng] simulates the
-    experiment.  @raise Invalid_argument if [t_intervals <= 0] or
-    [Redraw_every k] with [k <= 0]. *)
+    experiment.  The per-epoch probability draws run sequentially, then
+    the intervals fan out over the default {!Tomo_par.Pool}: every
+    interval derives private congestion-state and loss streams from its
+    index ([Rng.split_int]), so the result is bit-identical whatever the
+    pool size or schedule ([-j1 == -jN]).  @raise Invalid_argument if
+    [t_intervals <= 0] or [Redraw_every k] with [k <= 0]. *)
 val run :
   scenario:Scenario.t ->
   dynamics:dynamics ->

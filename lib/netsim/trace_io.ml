@@ -15,10 +15,9 @@ let write ppf (result : Run.result) =
   Format.fprintf ppf "tomo-trace v1@.";
   Format.fprintf ppf "paths %d@." n_paths;
   for t = 0 to result.Run.t_intervals - 1 do
+    let good = interval_statuses result ~interval:t in
     let buf = Bytes.make n_paths '0' in
-    Array.iteri
-      (fun p row -> if Bitset.get row t then Bytes.set buf p '1')
-      result.Run.path_good;
+    Bitset.iter (fun p -> Bytes.set buf p '1') good;
     Format.fprintf ppf "tick %d %s@." t (Bytes.to_string buf)
   done
 

@@ -142,26 +142,35 @@ let default_jobs () =
 let default_pool : t option ref = ref None
 let exit_hook = ref false
 
+(* Blocked worker domains would keep the runtime alive at exit (the
+   main domain joins every spawned domain on shutdown); drain whatever
+   default pool is current once the main domain is done.  Every path
+   that installs a default pool must call this — [set_default_jobs]
+   used to skip it, so calling it before any [default ()] left worker
+   domains parked on the condition variable forever and hung the
+   process at exit. *)
+let ensure_exit_hook () =
+  if not !exit_hook then begin
+    exit_hook := true;
+    at_exit (fun () ->
+        match !default_pool with
+        | Some t -> shutdown t
+        | None -> ())
+  end
+
 let default () =
   match !default_pool with
   | Some t when not t.closed -> t
   | _ ->
       let t = create ~jobs:(default_jobs ()) () in
       default_pool := Some t;
-      (* Blocked worker domains would keep the runtime alive at exit;
-         drain them once the main domain is done. *)
-      if not !exit_hook then begin
-        exit_hook := true;
-        at_exit (fun () ->
-            match !default_pool with
-            | Some t -> shutdown t
-            | None -> ())
-      end;
+      ensure_exit_hook ();
       t
 
 let set_default_jobs n =
   (match !default_pool with Some t -> shutdown t | None -> ());
-  default_pool := Some (create ~jobs:n ())
+  default_pool := Some (create ~jobs:n ());
+  ensure_exit_hook ()
 
 (* ------------------------------------------------------------------ *)
 (* Combinators                                                         *)

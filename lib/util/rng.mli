@@ -22,6 +22,15 @@ val create : int -> t
     way a truncated [Hashtbl.hash] would. *)
 val split : t -> label:string -> t
 
+(** [split_int t key] derives a child generator keyed by an integer —
+    the allocation-free analogue of [split] for loops that need one
+    independent stream per index (one per simulated interval, say).
+    The same [(seed, key)] pair always yields the same child; the
+    derivation depends only on [t]'s seed, never on how many draws [t]
+    has made, so children can be derived in any order (or in parallel)
+    without perturbing each other. *)
+val split_int : t -> int -> t
+
 (** [int t bound] is uniform in [0, bound).  @raise Invalid_argument if
     [bound <= 0]. *)
 val int : t -> int -> int

@@ -16,8 +16,12 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+let check_no_nan name xs =
+  if Array.exists Float.is_nan xs then invalid_arg (name ^ ": NaN sample")
+
 let quantile xs q =
   check_nonempty "Stats.quantile" xs;
+  check_no_nan "Stats.quantile" xs;
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
@@ -33,10 +37,12 @@ let median xs = quantile xs 0.5
 
 let minimum xs =
   check_nonempty "Stats.minimum" xs;
+  check_no_nan "Stats.minimum" xs;
   Array.fold_left min xs.(0) xs
 
 let maximum xs =
   check_nonempty "Stats.maximum" xs;
+  check_no_nan "Stats.maximum" xs;
   Array.fold_left max xs.(0) xs
 
 let mean_abs_error a b =
@@ -73,15 +79,23 @@ let cdf_curve xs ~steps ~max_x =
   in
   cdf xs ~points
 
-let histogram xs ~bins ~lo ~hi =
+let histogram ?(out_of_range = `Clamp) xs ~bins ~lo ~hi =
   if bins <= 0 then invalid_arg "Stats.histogram: non-positive bins";
   if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
   let counts = Array.make bins 0 in
   let width = (hi -. lo) /. float_of_int bins in
   Array.iter
     (fun x ->
-      let b = int_of_float ((x -. lo) /. width) in
-      let b = max 0 (min (bins - 1) b) in
-      counts.(b) <- counts.(b) + 1)
+      if not (Float.is_nan x) then begin
+        (* floor, not int_of_float: truncation toward zero would send
+           any x in (lo - width, lo) to bin 0 as if it were in range. *)
+        let b = int_of_float (floor ((x -. lo) /. width)) in
+        let in_range = b >= 0 && b < bins in
+        match out_of_range with
+        | `Drop -> if in_range then counts.(b) <- counts.(b) + 1
+        | `Clamp ->
+            let b = max 0 (min (bins - 1) b) in
+            counts.(b) <- counts.(b) + 1
+      end)
     xs;
   counts

@@ -15,13 +15,18 @@ val variance : float array -> float
 val stddev : float array -> float
 
 (** [quantile xs q] is the [q]-quantile ([0 <= q <= 1]) using linear
-    interpolation between order statistics. *)
+    interpolation between order statistics.  @raise Invalid_argument on
+    an empty sample, [q] outside [0,1], or a NaN sample (NaN admits no
+    order statistic; rejecting beats silently sorting it first). *)
 val quantile : float array -> float -> float
 
 (** [median xs] is [quantile xs 0.5]. *)
 val median : float array -> float
 
-(** [minimum xs] / [maximum xs].  @raise Invalid_argument on empty. *)
+(** [minimum xs] / [maximum xs].  @raise Invalid_argument on an empty
+    sample or a NaN sample (the polymorphic [min]/[max] fold would
+    otherwise return NaN from [minimum] but skip it in [maximum] —
+    rejection keeps the pair consistent). *)
 val minimum : float array -> float
 
 val maximum : float array -> float
@@ -39,6 +44,15 @@ val cdf : float array -> points:float array -> (float * float) list
     spaced points from [0] to [max_x]. *)
 val cdf_curve : float array -> steps:int -> max_x:float -> (float * float) list
 
-(** [histogram xs ~bins ~lo ~hi] counts samples per bin; samples outside
-    [lo, hi) are clamped into the edge bins. *)
-val histogram : float array -> bins:int -> lo:float -> hi:float -> int array
+(** [histogram ?out_of_range xs ~bins ~lo ~hi] counts samples per bin
+    over [bins] equal-width bins covering [lo, hi).  Out-of-range
+    samples (on either end, [x = hi] included) are handled per
+    [out_of_range]: [`Clamp] (default) counts them in the nearest edge
+    bin, [`Drop] excludes them.  NaN samples are always dropped. *)
+val histogram :
+  ?out_of_range:[ `Clamp | `Drop ] ->
+  float array ->
+  bins:int ->
+  lo:float ->
+  hi:float ->
+  int array

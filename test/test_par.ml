@@ -7,6 +7,10 @@ module Pool = Tomo_par.Pool
 module Matrix = Tomo_linalg.Matrix
 module Nullspace = Tomo_linalg.Nullspace
 module Rng = Tomo_util.Rng
+module Bitset = Tomo_util.Bitset
+module Brite = Tomo_topology.Brite
+module Scenario = Tomo_netsim.Scenario
+module Run = Tomo_netsim.Run
 module W = Tomo_experiments.Workload
 module Fig3 = Tomo_experiments.Fig3
 module Fig4 = Tomo_experiments.Fig4
@@ -133,6 +137,22 @@ let test_shutdown_rejects () =
     (Invalid_argument "Pool.parallel_map: pool is shut down") (fun () ->
       ignore (Pool.parallel_map ~pool succ [| 1; 2 |]))
 
+(* [set_default_jobs] must behave exactly like the [default ()] path:
+   install the pool it was given and leave it usable.  The at_exit half
+   of the regression (set_default_jobs as the *first* touch of the
+   default pool, then a clean process exit) lives in test_pool_exit.ml,
+   which would be killed by SIGALRM if the shutdown hook were missing. *)
+let test_set_default_jobs_installs () =
+  Pool.set_default_jobs 3;
+  check_int "default pool has the requested size" 3
+    (Pool.jobs (Pool.default ()));
+  let ys = Pool.parallel_map succ (Array.init 64 (fun i -> i)) in
+  Alcotest.(check (array int))
+    "default pool is usable"
+    (Array.init 64 (fun i -> i + 1))
+    ys;
+  Pool.set_default_jobs 1
+
 (* ------------------------------------------------------------------ *)
 (* Determinism: parallel experiments == sequential experiments         *)
 (* ------------------------------------------------------------------ *)
@@ -206,6 +226,50 @@ let test_sparse_kernel_bit_identical () =
       check_bool "cgls solution" true (x = x');
       check_bool "nullspace basis" true (matrices_equal bs bs'))
     seq
+
+(* The simulator itself under the pool: every interval derives its own
+   RNG streams from its index, so the interval fan-out inside [Run.run]
+   must be bit-identical whatever the pool size — across dynamics and
+   both measurement models. *)
+let run_fingerprint (r : Run.result) =
+  ( Array.map Bitset.to_list r.Run.link_congested,
+    Array.map Bitset.to_list r.Run.path_good,
+    List.map (fun (e : Run.epoch) -> (e.Run.length, e.Run.probs)) r.Run.epochs
+  )
+
+let prop_run_bit_identical (seed, nonstationary, probed) =
+  let simulate () =
+    let ov =
+      Brite.generate
+        ~params:{ Brite.default with Brite.n_ases = 30; n_paths = 80 }
+        ~seed ()
+    in
+    let rng = Rng.create (seed * 7919) in
+    let scenario =
+      Scenario.make ov ~kind:Scenario.Random ~frac:0.1
+        ~rng:(Rng.split rng ~label:"scenario")
+    in
+    let dynamics =
+      if nonstationary then Run.Redraw_every 17 else Run.Stationary
+    in
+    let measurement =
+      if probed then Run.Probes { per_path = 25; f = 0.01 } else Run.Ideal
+    in
+    run_fingerprint
+      (Run.run ~scenario ~dynamics ~measurement ~t_intervals:50
+         ~rng:(Rng.split rng ~label:"run"))
+  in
+  Pool.set_default_jobs 1;
+  let seq = simulate () in
+  Pool.set_default_jobs 4;
+  let par = simulate () in
+  Pool.set_default_jobs 1;
+  seq = par
+
+let run_bit_identical_qcheck =
+  QCheck.Test.make ~count:8 ~name:"Run.run -j1 == -j4 (bit-identical)"
+    QCheck.(triple (int_range 0 10_000) bool bool)
+    prop_run_bit_identical
 
 (* ------------------------------------------------------------------ *)
 (* Tracker == functional null-space update                             *)
@@ -288,6 +352,8 @@ let () =
           Alcotest.test_case "iter runs all" `Quick test_iter_runs_all;
           Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
           Alcotest.test_case "shutdown" `Quick test_shutdown_rejects;
+          Alcotest.test_case "set_default_jobs installs the pool" `Quick
+            test_set_default_jobs_installs;
         ] );
       ( "determinism",
         [
@@ -297,6 +363,7 @@ let () =
             test_fig4a_bit_identical;
           Alcotest.test_case "sparse kernels bit-identical" `Quick
             test_sparse_kernel_bit_identical;
+          QCheck_alcotest.to_alcotest run_bit_identical_qcheck;
         ] );
       ( "tracker",
         [

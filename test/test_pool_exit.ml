@@ -1,0 +1,16 @@
+(* Regression for the default-pool at_exit hook (lib/par/pool.ml):
+   [set_default_jobs] called before any [Pool.default ()] must still
+   install the shutdown hook.  Without it the worker domains spawned
+   here stay parked on the pool's condition variable forever and the
+   runtime hangs at exit waiting to join them — the alarm turns that
+   hang into a loud SIGALRM kill (non-zero exit) instead of a wedged
+   test runner. *)
+let () =
+  ignore (Unix.alarm 60);
+  (* the bug requires this to be the first touch of the default pool *)
+  Tomo_par.Pool.set_default_jobs 4;
+  let ys =
+    Tomo_par.Pool.parallel_map (fun i -> i + 1) (Array.init 1000 (fun i -> i))
+  in
+  assert (Array.length ys = 1000 && ys.(999) = 1000);
+  print_endline "pool exit hook: ok"

@@ -111,6 +111,26 @@ let test_rng_split_independent () =
   let da' = Array.init 8 (fun _ -> Rng.int a' 1_000_000) in
   Alcotest.(check (array int)) "split is deterministic" da da'
 
+let test_rng_split_int () =
+  let r = Rng.create 7 in
+  let stream g = Array.init 8 (fun _ -> Rng.int g 1_000_000) in
+  let a = stream (Rng.split_int r 0) and b = stream (Rng.split_int r 1) in
+  check_bool "keys give distinct streams" true (a <> b);
+  Alcotest.(check (array int))
+    "split_int is deterministic" a
+    (stream (Rng.split_int (Rng.create 7) 0));
+  (* derivation depends on the seed only, never the draw position — the
+     property the per-interval simulator fan-out relies on *)
+  let r' = Rng.create 7 in
+  ignore (Rng.int r' 100);
+  ignore (Rng.float r' 1.0);
+  Alcotest.(check (array int))
+    "split_int ignores consumed draws" a
+    (stream (Rng.split_int r' 0));
+  (* and it must not collide with the string-labelled splits *)
+  check_bool "distinct from split ~label" true
+    (a <> stream (Rng.split r ~label:"0"))
+
 let test_rng_bool_bias () =
   let r = Rng.create 11 in
   let n = 20_000 in
@@ -197,6 +217,81 @@ let test_stats_histogram () =
   check_int "bin0 (incl. clamped low)" 2 h.(0);
   check_int "bin1" 2 h.(1);
   check_int "last bin (incl. clamped high)" 2 h.(9)
+
+let sum = Array.fold_left ( + ) 0
+
+let test_stats_histogram_edges () =
+  (* x in (lo - width, lo): int_of_float truncation used to file this
+     under bin 0 as if it were in range; [`Drop] must exclude it. *)
+  let h =
+    Stats.histogram ~out_of_range:`Drop [| -0.05 |] ~bins:10 ~lo:0.0 ~hi:1.0
+  in
+  check_int "just-below-lo is out of range" 0 (sum h);
+  let h =
+    Stats.histogram ~out_of_range:`Clamp [| -0.05 |] ~bins:10 ~lo:0.0 ~hi:1.0
+  in
+  check_int "just-below-lo clamps to bin 0" 1 h.(0);
+  (* x = hi sits outside [lo, hi): last bin under clamp, gone under
+     drop — both ends handled the same way. *)
+  let clamp = Stats.histogram [| 1.0 |] ~bins:10 ~lo:0.0 ~hi:1.0 in
+  check_int "x = hi clamps to the last bin" 1 clamp.(9);
+  let drop =
+    Stats.histogram ~out_of_range:`Drop [| 1.0 |] ~bins:10 ~lo:0.0 ~hi:1.0
+  in
+  check_int "x = hi drops" 0 (sum drop);
+  (* NaN is dropped in both modes *)
+  check_int "NaN dropped (clamp)" 1
+    (sum (Stats.histogram [| nan; 0.5 |] ~bins:4 ~lo:0.0 ~hi:1.0));
+  check_int "NaN dropped (drop)" 1
+    (sum
+       (Stats.histogram ~out_of_range:`Drop
+          [| nan; 0.5 |]
+          ~bins:4 ~lo:0.0 ~hi:1.0))
+
+let test_stats_nan_rejected () =
+  Alcotest.check_raises "quantile"
+    (Invalid_argument "Stats.quantile: NaN sample") (fun () ->
+      ignore (Stats.quantile [| 0.1; nan |] 0.5));
+  Alcotest.check_raises "minimum"
+    (Invalid_argument "Stats.minimum: NaN sample") (fun () ->
+      ignore (Stats.minimum [| nan; 0.1 |]));
+  Alcotest.check_raises "maximum"
+    (Invalid_argument "Stats.maximum: NaN sample") (fun () ->
+      ignore (Stats.maximum [| 0.1; nan |]))
+
+let finite_samples =
+  QCheck.(array_of_size Gen.(int_range 1 60) (float_range (-2.0) 2.0))
+
+let prop_histogram_conservation =
+  QCheck.Test.make ~name:"histogram: clamp counts every sample" ~count:200
+    finite_samples (fun xs ->
+      sum (Stats.histogram xs ~bins:7 ~lo:0.0 ~hi:1.0) = Array.length xs)
+
+let prop_histogram_drop_vs_clamp =
+  QCheck.Test.make
+    ~name:"histogram: drop differs from clamp only in the edge bins"
+    ~count:200 finite_samples (fun xs ->
+      let bins = 7 in
+      let clamp = Stats.histogram xs ~bins ~lo:0.0 ~hi:1.0 in
+      let drop = Stats.histogram ~out_of_range:`Drop xs ~bins ~lo:0.0 ~hi:1.0 in
+      let ok = ref (drop.(0) <= clamp.(0) && drop.(bins - 1) <= clamp.(bins - 1)) in
+      for b = 1 to bins - 2 do
+        if drop.(b) <> clamp.(b) then ok := false
+      done;
+      !ok)
+
+let prop_quantile_ends =
+  QCheck.Test.make ~name:"quantile: q=0 is minimum, q=1 is maximum"
+    ~count:200 finite_samples (fun xs ->
+      Stats.quantile xs 0.0 = Stats.minimum xs
+      && Stats.quantile xs 1.0 = Stats.maximum xs)
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"quantile: monotone in q" ~count:200
+    QCheck.(pair finite_samples (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0)))
+    (fun (xs, (q1, q2)) ->
+      let lo = min q1 q2 and hi = max q1 q2 in
+      Stats.quantile xs lo <= Stats.quantile xs hi +. 1e-12)
 
 let prop_stats_mean_bounds =
   QCheck.Test.make ~name:"mean between min and max" ~count:200
@@ -296,6 +391,7 @@ let () =
           Alcotest.test_case "sampling" `Quick test_rng_sample;
           Alcotest.test_case "weighted pick" `Quick test_rng_pick_weighted;
           Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "integer-keyed split" `Quick test_rng_split_int;
         ] );
       ( "stats",
         [
@@ -304,8 +400,15 @@ let () =
           Alcotest.test_case "mean abs error" `Quick test_stats_mae;
           Alcotest.test_case "cdf" `Quick test_stats_cdf;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "histogram edges" `Quick
+            test_stats_histogram_edges;
+          Alcotest.test_case "NaN rejection" `Quick test_stats_nan_rejected;
           qc prop_stats_mean_bounds;
           qc prop_stats_cdf_monotone;
+          qc prop_histogram_conservation;
+          qc prop_histogram_drop_vs_clamp;
+          qc prop_quantile_ends;
+          qc prop_quantile_monotone;
         ] );
       ( "combin",
         [
