@@ -231,6 +231,69 @@ let sim_parallel_pass () =
   Format.fprintf ppf "sim/run-paper speedup at 4 domains: %.2fx@.@." speedup;
   (t, j1, j4, speedup)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the disabled instrumentation path               *)
+(* ------------------------------------------------------------------ *)
+
+(* The serve loop calls [Metrics.observe] four times per tick (the stage
+   profile) and [Events.emit] on lifecycle edges, always through the
+   same call sites whether or not a sink is configured.  This pass pins
+   the contract that the disabled path is a single predictable branch:
+   the printed rows land in BENCH_perf.json and CI greps the
+   "obs/observe-disabled" line.  Hand-timed rather than Bechamel'd
+   because the enabled/disabled split needs explicit global toggling
+   around each loop. *)
+let obs_overhead_pass () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf "Telemetry overhead (disabled-path contract)@.";
+  Format.fprintf ppf
+    "==================================================================@.";
+  let h = Tomo_obs.Metrics.histogram "bench_obs_overhead_s" in
+  let attrs = [ ("tick", "0"); ("rows", "565") ] in
+  let time_ns n f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to n do
+        f i
+      done;
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best *. 1e9 /. float_of_int n
+  in
+  let n = 5_000_000 in
+  let was = Tomo_obs.Metrics.enabled () in
+  Tomo_obs.Metrics.set_enabled false;
+  let observe_off =
+    time_ns n (fun i ->
+        Tomo_obs.Metrics.observe h (float_of_int i *. 1e-9))
+  in
+  Tomo_obs.Metrics.set_enabled true;
+  let observe_on =
+    time_ns n (fun i ->
+        Tomo_obs.Metrics.observe h (float_of_int i *. 1e-9))
+  in
+  Tomo_obs.Metrics.set_enabled was;
+  (* Events must be unconfigured here (Sink.init never enables them);
+     this is the cost every engine call site pays in a plain run. *)
+  assert (not (Tomo_obs.Events.enabled ()));
+  let emit_off =
+    time_ns n (fun _ -> Tomo_obs.Events.emit "bench_noop" attrs)
+  in
+  let rows =
+    [
+      ("obs/observe-disabled", observe_off, nan);
+      ("obs/observe-enabled", observe_on, nan);
+      ("obs/emit-disabled", emit_off, nan);
+    ]
+  in
+  List.iter
+    (fun (name, ns, _) -> Format.fprintf ppf "%s: %.1f ns/call@." name ns)
+    rows;
+  Format.fprintf ppf "@.";
+  rows
+
 let bench_tests () =
   let w = Lazy.force fixture in
   let wc = Lazy.force fixture_corr in
@@ -531,8 +594,11 @@ let () =
   let sim =
     if enabled "TOMO_BENCH_SIM" then Some (sim_parallel_pass ()) else None
   in
+  let obs_rows =
+    if enabled "TOMO_BENCH_OBS" then obs_overhead_pass () else []
+  in
   let rows =
-    rows
+    rows @ obs_rows
     @
     match sim with
     | None -> []

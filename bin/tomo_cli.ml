@@ -91,19 +91,41 @@ let metrics_out_arg =
     & info [ "metrics-out" ] ~docv:"FILE"
         ~doc:
           "Write a JSON snapshot of every counter, gauge and histogram \
-           to $(docv) (\"-\" for stdout; same as TOMO_METRICS_OUT).")
+           to $(docv) (\"-\" for stdout; same as TOMO_METRICS_OUT). \
+           Written atomically, and periodically with --flush-every.")
+
+let events_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events-out" ] ~docv:"FILE"
+        ~doc:
+          "Append lifecycle events (source open/EOF, re-selection, \
+           snapshot written/restored, pool resize) as JSON lines to \
+           $(docv) (\"-\" for stderr; same as TOMO_EVENTS_OUT).")
 
 (* Configure the observability sinks from the CLI flags (falling back to
-   the TOMO_TRACE / TOMO_METRICS_OUT environment) and flush them once
-   the command is done. *)
-let with_obs sparse jobs trace metrics_out f =
+   the TOMO_TRACE / TOMO_METRICS_OUT / TOMO_EVENTS_OUT environment) and
+   flush them once the command is done.  Events are configured before
+   the pool resize so the startup [pool_resize] lands in the log. *)
+let with_obs sparse jobs trace metrics_out events_out f =
+  let events_out =
+    match events_out with
+    | Some p -> Some p
+    | None -> (
+        match Sys.getenv_opt "TOMO_EVENTS_OUT" with
+        | None | Some "" -> None
+        | some -> some)
+  in
+  Tomo_obs.Events.configure events_out;
   Option.iter Tomo_linalg.Sparse.set_density_threshold sparse;
   Option.iter Tomo_par.Pool.set_default_jobs jobs;
   Tomo_obs.Sink.init
     ?trace:(if trace then Some Tomo_obs.Sink.Trace_human else None)
     ?metrics_out ();
   f ();
-  Tomo_obs.Sink.flush ()
+  Tomo_obs.Sink.flush ();
+  Tomo_obs.Events.close ()
 
 let ensure_dir = function
   | None -> ()
@@ -365,6 +387,37 @@ let progress_arg =
     & info [ "progress" ] ~docv:"N"
         ~doc:"Print a status line every N ticks (0 = quiet).")
 
+let listen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Serve live telemetry while the engine runs: Prometheus text \
+           metrics at /metrics, health JSON at /healthz, an engine \
+           status view at /status. $(docv) is a Unix-socket path, \
+           HOST:PORT, or a bare PORT (TCP on 127.0.0.1). Scraping only \
+           reads published state — streaming results are bit-identical \
+           with or without it.")
+
+let flush_every_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "flush-every" ] ~docv:"SECONDS"
+        ~doc:
+          "Flush the metrics/trace sinks every $(docv) seconds (atomic \
+           write + rename) instead of only at exit, so a long run's \
+           telemetry files stay current. 0 disables periodic flushing.")
+
+let linger_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "linger" ] ~docv:"SECONDS"
+        ~doc:
+          "With --listen: keep serving the telemetry endpoints for \
+           $(docv) seconds after the replay drains, so a final scrape \
+           can observe the finished run.")
+
 (* Sniff the stream format so `serve --replay` accepts both the
    line-per-interval trace format and archived batch observations. *)
 let open_replay_source path =
@@ -434,8 +487,86 @@ let run_gen_trace scale seed topology scenario nonstationary intervals out =
     (Array.length w.W.run.Tomo_netsim.Run.path_good)
     out
 
+(* The exporter's callbacks run on its own thread; they read an
+   immutable status record republished by the engine thread each tick
+   under [lock], never the live engine. *)
+type published_status = {
+  lock : Mutex.t;
+  mutable published : Stream.Engine.status;
+  started_at : float;
+}
+
+let json_str s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let start_telemetry ~spec ~scale ~seed ~topology ~replay ~window engine =
+  let listen =
+    match Tomo_obs.Exporter.listen_of_string spec with
+    | Ok l -> l
+    | Error e -> failwith ("--listen: " ^ e)
+  in
+  (* Scrapes must see live histograms even when no file sink is
+     configured. *)
+  Tomo_obs.Metrics.set_enabled true;
+  (* A daemon accumulates spans forever unless bounded; the periodic
+     flusher drains them, the cap is the backstop. *)
+  Tomo_obs.Trace.set_max_roots (Some 1024);
+  let t =
+    {
+      lock = Mutex.create ();
+      published = Stream.Engine.status engine;
+      started_at = Unix.gettimeofday ();
+    }
+  in
+  let read_status () =
+    Mutex.lock t.lock;
+    let s = t.published in
+    Mutex.unlock t.lock;
+    s
+  in
+  let engine_json () =
+    let now = Unix.gettimeofday () in
+    Stream.Engine.status_json ~uptime_s:(now -. t.started_at)
+      ?snapshot_age_s:
+        (Option.map (fun t0 -> now -. t0) (Stream.Snapshot.last_saved_at ()))
+      ?last_error:(Tomo_obs.Sink.last_error ())
+      (read_status ())
+  in
+  let status_body () =
+    Printf.sprintf
+      "{\"config\":{\"scale\":%s,\"seed\":%d,\"topology\":%s,\"replay\":%s,\
+       \"window\":%d},\"engine\":%s}"
+      (json_str (W.scale_to_string scale))
+      seed
+      (json_str (W.topology_to_string topology))
+      (json_str replay) window (engine_json ())
+  in
+  let exporter =
+    Tomo_obs.Exporter.start ~health:engine_json ~status:status_body listen
+  in
+  Format.fprintf ppf "Telemetry on %s: /metrics /healthz /status@."
+    (Tomo_obs.Exporter.listen_to_string listen);
+  ( exporter,
+    fun engine ->
+      let s = Stream.Engine.status engine in
+      Mutex.lock t.lock;
+      t.published <- s;
+      Mutex.unlock t.lock )
+
 let run_serve scale seed topology replay window snapshot_in snapshot_out
-    snapshot_every max_ticks report_out progress =
+    snapshot_every max_ticks report_out progress listen flush_every linger =
   let model = model_for scale seed topology in
   let engine =
     match snapshot_in with
@@ -446,6 +577,20 @@ let run_serve scale seed topology replay window snapshot_in snapshot_out
           snap.Stream.Snapshot.ticks snap.Stream.Snapshot.capacity;
         Stream.Engine.of_snapshot ~model snap
     | None -> Stream.Engine.create ~model ~window ()
+  in
+  let telemetry =
+    Option.map
+      (fun spec ->
+        start_telemetry ~spec ~scale ~seed ~topology ~replay ~window engine)
+      listen
+  in
+  let publish =
+    match telemetry with Some (_, publish) -> publish | None -> ignore
+  in
+  let flusher =
+    if flush_every > 0.0 then
+      Some (Tomo_obs.Flusher.start ~period_s:flush_every ())
+    else None
   in
   let source = open_replay_source replay in
   check_source_paths source model;
@@ -460,6 +605,7 @@ let run_serve scale seed topology replay window snapshot_in snapshot_out
            skipped already)
   end;
   let on_tick engine est =
+    publish engine;
     if progress > 0 && Stream.Engine.ticks engine mod progress = 0 then
       Format.fprintf ppf "tick %d: %s@."
         (Stream.Engine.ticks engine)
@@ -475,6 +621,16 @@ let run_serve scale seed topology replay window snapshot_in snapshot_out
       ~on_tick
   in
   Stream.Source.close source;
+  publish engine;
+  (match telemetry with
+  | Some _ when linger > 0.0 ->
+      Format.fprintf ppf "Replay drained; telemetry lingers %gs@." linger;
+      Thread.delay linger
+  | _ -> ());
+  Option.iter (Tomo_obs.Flusher.stop ?final_flush:None) flusher;
+  (match telemetry with
+  | Some (exporter, _) -> Tomo_obs.Exporter.stop exporter
+  | None -> ());
   let cap = Stream.Window.capacity (Stream.Engine.window engine) in
   match
     (match last with Some _ -> last | None -> Stream.Engine.current engine)
@@ -527,19 +683,20 @@ let all scale seed seeds csv =
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds sparse jobs trace mout ->
-          with_obs sparse jobs trace mout (fun () -> f scale seed seeds))
+      const (fun scale seed seeds sparse jobs trace mout eout ->
+          with_obs sparse jobs trace mout eout (fun () -> f scale seed seeds))
       $ scale_arg $ seed_arg $ seeds_arg $ sparse_threshold_arg $ jobs_arg
-      $ trace_arg $ metrics_out_arg)
+      $ trace_arg $ metrics_out_arg $ events_out_arg)
 
 let cmd_csv name doc f =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds csv sparse jobs trace mout ->
-          with_obs sparse jobs trace mout (fun () -> f scale seed seeds csv))
+      const (fun scale seed seeds csv sparse jobs trace mout eout ->
+          with_obs sparse jobs trace mout eout (fun () ->
+              f scale seed seeds csv))
       $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ sparse_threshold_arg
-      $ jobs_arg $ trace_arg $ metrics_out_arg)
+      $ jobs_arg $ trace_arg $ metrics_out_arg $ events_out_arg)
 
 let gen_trace_cmd =
   Cmd.v
@@ -549,13 +706,13 @@ let gen_trace_cmd =
           stream as a replayable tomo-trace file.")
     Term.(
       const (fun scale seed topology scenario nonstationary intervals out
-                sparse jobs trace mout ->
-          with_obs sparse jobs trace mout (fun () ->
+                sparse jobs trace mout eout ->
+          with_obs sparse jobs trace mout eout (fun () ->
               run_gen_trace scale seed topology scenario nonstationary
                 intervals out))
       $ scale_arg $ seed_arg $ topology_arg $ scenario_arg
       $ nonstationary_arg $ intervals_arg $ out_arg $ sparse_threshold_arg
-      $ jobs_arg $ trace_arg $ metrics_out_arg)
+      $ jobs_arg $ trace_arg $ metrics_out_arg $ events_out_arg)
 
 let serve_cmd =
   Cmd.v
@@ -564,18 +721,21 @@ let serve_cmd =
          "Run the online sliding-window engine over a replayed \
           measurement stream, re-estimating congestion probabilities \
           every interval; snapshots allow a killed server to resume \
-          bit-identically.")
+          bit-identically, and --listen serves scrapeable live \
+          telemetry while it runs.")
     Term.(
       const (fun scale seed topology replay window snapshot_in snapshot_out
-                snapshot_every max_ticks report_out progress sparse jobs
-                trace mout ->
-          with_obs sparse jobs trace mout (fun () ->
+                snapshot_every max_ticks report_out progress listen
+                flush_every linger sparse jobs trace mout eout ->
+          with_obs sparse jobs trace mout eout (fun () ->
               run_serve scale seed topology replay window snapshot_in
-                snapshot_out snapshot_every max_ticks report_out progress))
+                snapshot_out snapshot_every max_ticks report_out progress
+                listen flush_every linger))
       $ scale_arg $ seed_arg $ topology_arg $ replay_arg $ window_arg
       $ snapshot_in_arg $ snapshot_out_arg $ snapshot_every_arg
-      $ max_ticks_arg $ report_out_arg $ progress_arg $ sparse_threshold_arg
-      $ jobs_arg $ trace_arg $ metrics_out_arg)
+      $ max_ticks_arg $ report_out_arg $ progress_arg $ listen_arg
+      $ flush_every_arg $ linger_arg $ sparse_threshold_arg $ jobs_arg
+      $ trace_arg $ metrics_out_arg $ events_out_arg)
 
 let batch_report_cmd =
   Cmd.v
@@ -586,12 +746,12 @@ let batch_report_cmd =
           the two must diff equal.")
     Term.(
       const (fun scale seed topology replay window report_out sparse jobs
-                trace mout ->
-          with_obs sparse jobs trace mout (fun () ->
+                trace mout eout ->
+          with_obs sparse jobs trace mout eout (fun () ->
               run_batch_report scale seed topology replay window report_out))
       $ scale_arg $ seed_arg $ topology_arg $ replay_arg $ window_arg
       $ report_out_arg $ sparse_threshold_arg $ jobs_arg $ trace_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ events_out_arg)
 
 let table2_cmd =
   Cmd.v

@@ -1,0 +1,111 @@
+(* Structured JSONL event log for long-lived processes: one JSON object
+   per line, appended as lifecycle events happen (source open/EOF,
+   re-selection, snapshot written/restored, pool resize, ...).  Unlike
+   Trace spans — which measure durations and are drained in bulk on
+   flush — events are point-in-time facts written immediately, so a
+   crashed daemon's log still ends at the crash.
+
+   Disabled (the default) emission is a single branch.  Writes take a
+   mutex so events from worker domains and the exporter thread
+   interleave as whole lines, never torn. *)
+
+let lock = Mutex.create ()
+let out : out_channel option ref = ref None
+let owns : bool ref = ref false
+let path_ref : string option ref = ref None
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (pure, exposed for the escaping property test)            *)
+(* ------------------------------------------------------------------ *)
+
+(* UTF-8 passes through untouched (JSON strings are unicode); only the
+   structural characters and control bytes need escaping. *)
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let line ~ts event attrs =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"ts\":";
+  Buffer.add_string buf (Printf.sprintf "%.6f" ts);
+  Buffer.add_string buf ",\"event\":\"";
+  escape buf event;
+  Buffer.add_char buf '"';
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf ",\"";
+      escape buf k;
+      Buffer.add_string buf "\":\"";
+      escape buf v;
+      Buffer.add_char buf '"')
+    attrs;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Configuration and emission                                          *)
+(* ------------------------------------------------------------------ *)
+
+let close () =
+  Mutex.lock lock;
+  (match !out with
+  | Some oc ->
+      (try Stdlib.flush oc with Sys_error _ -> ());
+      if !owns then close_out_noerr oc
+  | None -> ());
+  out := None;
+  owns := false;
+  path_ref := None;
+  enabled_flag := false;
+  Mutex.unlock lock
+
+let configure = function
+  | None -> close ()
+  | Some path ->
+      close ();
+      Mutex.lock lock;
+      (if path = "-" then begin
+         out := Some stderr;
+         owns := false
+       end
+       else begin
+         out :=
+           Some (open_out_gen [ Open_creat; Open_append; Open_text ] 0o644 path);
+         owns := true
+       end);
+      path_ref := Some path;
+      enabled_flag := true;
+      Mutex.unlock lock
+
+let configured_path () = !path_ref
+
+let emit ?ts event attrs =
+  if !enabled_flag then begin
+    let ts = match ts with Some t -> t | None -> Unix.gettimeofday () in
+    let l = line ~ts event attrs in
+    Mutex.lock lock;
+    (match !out with
+    | Some oc -> (
+        try
+          output_string oc l;
+          output_char oc '\n';
+          Stdlib.flush oc
+        with Sys_error msg ->
+          Sink.record_error ("cannot write event log: " ^ msg);
+          Printf.eprintf "tomo_obs: cannot write event log: %s\n%!" msg)
+    | None -> ());
+    Mutex.unlock lock
+  end

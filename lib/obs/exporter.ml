@@ -1,0 +1,311 @@
+(* Scrapeable telemetry endpoint: a minimal HTTP/1.0 server over a Unix
+   or TCP socket (stdlib [Unix] + [Thread] only, no web framework)
+   serving the live metrics registry and process health.
+
+     /metrics  Prometheus text format (counters, gauges, histograms
+               with cumulative power-of-two buckets)
+     /healthz  JSON health view (caller-supplied body — the serve loop
+               reports tick progress, window fill, snapshot age and
+               the last sink error)
+     /status   JSON engine-status view (caller-supplied), 404 if none
+
+   The accept loop runs on its own systhread and only ever *reads*
+   shared state — the metrics registry is already thread-safe, and the
+   health/status callbacks are documented to be — so attaching an
+   exporter cannot perturb engine results.  Requests are served
+   serially: scrapes are small and rare, and one slow client must not
+   be able to hold a second one's connection open forever (a 5 s socket
+   timeout bounds the damage either way). *)
+
+let c_scrapes = Metrics.counter "telemetry_scrapes"
+let c_scrape_errors = Metrics.counter "telemetry_scrape_errors"
+
+(* ------------------------------------------------------------------ *)
+(* Listen addresses                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type listen = Unix_sock of string | Tcp of string * int
+
+let listen_to_string = function
+  | Unix_sock p -> p
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+(* "HOST:PORT" or ":PORT" is TCP; anything else is a Unix socket path
+   (a bare "PORT" digit-string is also TCP on localhost, so
+   "--listen 9090" does what it looks like). *)
+let listen_of_string s =
+  let is_port p =
+    match int_of_string_opt p with
+    | Some v when v > 0 && v < 65536 -> Some v
+    | _ -> None
+  in
+  match String.rindex_opt s ':' with
+  | Some i when not (String.contains s '/') -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match is_port port with
+      | Some p -> Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+      | None -> Error (Printf.sprintf "bad port in listen address %S" s))
+  | None when is_port s <> None -> Ok (Tcp ("127.0.0.1", Option.get (is_port s)))
+  | _ ->
+      if s = "" then Error "empty listen address" else Ok (Unix_sock s)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text rendering (pure, golden-tested)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Prometheus metric names admit [a-zA-Z0-9_:]; registry names use
+   dots in a few tests, so map anything else to '_'. *)
+let prom_name n =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    n
+
+let prom_float v =
+  if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else
+    let s = Printf.sprintf "%.17g" v in
+    (* shortest round-trip representation keeps the output stable *)
+    let short = Printf.sprintf "%g" v in
+    if float_of_string short = v then short else s
+
+let prometheus_of_snapshot (snap : Metrics.snapshot) =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Printf.bprintf b "# TYPE %s counter\n%s %d\n" n n v)
+    snap.Metrics.counters;
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Printf.bprintf b "# TYPE %s gauge\n%s %s\n" n n (prom_float v))
+    snap.Metrics.gauges;
+  List.iter
+    (fun (name, (h : Metrics.histogram_stats)) ->
+      let n = prom_name name in
+      Printf.bprintf b "# TYPE %s histogram\n" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, count) ->
+          cum := !cum + count;
+          Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" n (prom_float ub) !cum)
+        h.Metrics.buckets;
+      Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" n h.Metrics.count;
+      Printf.bprintf b "%s_sum %s\n" n
+        (prom_float (if h.Metrics.count = 0 then 0.0 else h.Metrics.sum));
+      Printf.bprintf b "%s_count %d\n" n h.Metrics.count)
+    snap.Metrics.histograms;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* HTTP plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  fd : Unix.file_descr;
+  listen : listen;
+  health : (unit -> string) option;
+  status : (unit -> string) option;
+  started_at : float;
+  mutable stopped : bool;
+  mutable thread : Thread.t option;
+}
+
+let started_at t = t.started_at
+
+let default_health t () =
+  let b = Buffer.create 64 in
+  Printf.bprintf b "{\"status\":\"ok\",\"uptime_s\":%.3f"
+    (Unix.gettimeofday () -. t.started_at);
+  (match Sink.last_error () with
+  | None -> Buffer.add_string b ",\"last_error\":null"
+  | Some e ->
+      Buffer.add_string b ",\"last_error\":\"";
+      Buffer.add_string b
+        (String.concat "\\\"" (String.split_on_char '"' e));
+      Buffer.add_char b '"');
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let respond t path =
+  match path with
+  | "/metrics" ->
+      ( 200,
+        "text/plain; version=0.0.4; charset=utf-8",
+        prometheus_of_snapshot (Metrics.snapshot ()) )
+  | "/healthz" ->
+      ( 200,
+        "application/json",
+        (match t.health with Some f -> f () | None -> default_health t ()) )
+  | "/status" -> (
+      match t.status with
+      | Some f -> (200, "application/json", f ())
+      | None -> (404, "text/plain", "no status view configured\n"))
+  | "/" | "" ->
+      (200, "text/plain", "tomo telemetry: /metrics /healthz /status\n")
+  | _ -> (404, "text/plain", "not found\n")
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | _ -> "Error"
+
+let http_response code content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+     close\r\n\r\n%s"
+    code (status_text code) content_type (String.length body) body
+
+(* Read until the blank line ending the request head (or 8 KiB, or the
+   socket timeout); we only ever need the request line. *)
+let read_head fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 8192 then ()
+    else
+      let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf chunk 0 n;
+        let s = Buffer.contents buf in
+        let have_blank =
+          let rec find i =
+            i + 3 < String.length s
+            && ((s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r'
+                 && s.[i + 3] = '\n')
+               || find (i + 1))
+          in
+          find 0
+        in
+        if not have_blank then go ()
+      end
+  in
+  (try go () with Unix.Unix_error _ | Sys_error _ -> ());
+  Buffer.contents buf
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let n = Unix.write fd b off (len - off) in
+      if n > 0 then go (off + n)
+  in
+  try go 0 with Unix.Unix_error _ -> ()
+
+let serve_client t client =
+  Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0;
+  Unix.setsockopt_float client Unix.SO_SNDTIMEO 5.0;
+  let head = read_head client in
+  let request_line =
+    match String.index_opt head '\r' with
+    | Some i -> String.sub head 0 i
+    | None -> (
+        match String.index_opt head '\n' with
+        | Some i -> String.sub head 0 i
+        | None -> head)
+  in
+  let response =
+    match String.split_on_char ' ' request_line with
+    | [ "GET"; target; _ ] | [ "GET"; target ] ->
+        let path =
+          match String.index_opt target '?' with
+          | Some i -> String.sub target 0 i
+          | None -> target
+        in
+        Metrics.incr c_scrapes;
+        let code, ctype, body = respond t path in
+        http_response code ctype body
+    | _ :: _ :: _ ->
+        Metrics.incr c_scrape_errors;
+        http_response 405 "text/plain" "only GET is served here\n"
+    | _ ->
+        Metrics.incr c_scrape_errors;
+        http_response 400 "text/plain" "malformed request\n"
+  in
+  write_all client response
+
+let rec accept_loop t =
+  match Unix.accept t.fd with
+  | client, _ ->
+      (try serve_client t client
+       with e ->
+         Metrics.incr c_scrape_errors;
+         Sink.record_error
+           ("telemetry request failed: " ^ Printexc.to_string e));
+      (try Unix.shutdown client Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      (try Unix.close client with Unix.Unix_error _ -> ());
+      if not t.stopped then accept_loop t
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if not t.stopped then accept_loop t
+  | exception Unix.Unix_error _ ->
+      (* listening socket closed by [stop], or torn down at exit *)
+      ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen = function
+  | Unix_sock path ->
+      (* A stale socket file from a previous run would make bind fail;
+         only ever remove something that actually is a socket. *)
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 16;
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 16;
+      fd
+
+let start ?health ?status listen =
+  let fd = bind_listen listen in
+  let t =
+    {
+      fd;
+      listen;
+      health;
+      status;
+      started_at = Unix.gettimeofday ();
+      stopped = false;
+      thread = None;
+    }
+  in
+  Events.emit "exporter_listening" [ ("addr", listen_to_string listen) ];
+  t.thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (* Closing the listening socket pops the accept loop out of its
+       blocking accept; the thread then sees [stopped] and returns. *)
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    (match t.listen with
+    | Unix_sock path -> (
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    (match t.thread with Some th -> Thread.join th | None -> ());
+    Events.emit "exporter_stopped" [ ("addr", listen_to_string t.listen) ]
+  end

@@ -111,7 +111,8 @@ type histogram_stats = {
   buckets : (float * int) list;
 }
 
-let histogram_stats h =
+(* Caller must hold [lock]. *)
+let histogram_stats_unlocked h =
   let buckets = ref [] in
   for i = n_slots - 1 downto 0 do
     if h.slots.(i) > 0 then buckets := (slot_upper i, h.slots.(i)) :: !buckets
@@ -123,6 +124,40 @@ let histogram_stats h =
     max_v = h.h_max;
     buckets = !buckets;
   }
+
+let histogram_stats h =
+  Mutex.lock lock;
+  let s = histogram_stats_unlocked h in
+  Mutex.unlock lock;
+  s
+
+(* Quantile estimation from the power-of-two buckets: find the bucket
+   holding the q-th ranked observation and interpolate linearly inside
+   it (the Prometheus histogram_quantile convention).  The bucket's
+   lower edge is half its upper bound — exact for this bucket layout —
+   and the estimate is clamped to the recorded min/max, so p50/p95/p99
+   can never step outside the observed range. *)
+let quantile s q =
+  if s.count = 0 then nan
+  else if q <= 0.0 then s.min_v
+  else if q >= 1.0 then s.max_v
+  else begin
+    let rank = q *. float_of_int s.count in
+    let rec find cum = function
+      | [] -> s.max_v
+      | (ub, n) :: rest ->
+          let cum' = cum +. float_of_int n in
+          if cum' >= rank then
+            if ub <= 0.0 then (* underflow bucket: no width to split *)
+              Float.min 0.0 s.max_v
+            else
+              let lo = ub /. 2.0 in
+              lo +. ((ub -. lo) *. ((rank -. cum) /. float_of_int n))
+          else find cum' rest
+    in
+    let v = find 0.0 s.buckets in
+    Float.max s.min_v (Float.min s.max_v v)
+  end
 
 type snapshot = {
   counters : (string * int) list;
@@ -137,7 +172,7 @@ let snapshot () =
     (fun name -> function
       | C c -> cs := (name, Atomic.get c) :: !cs
       | G g -> if g.g_set then gs := (name, g.g) :: !gs
-      | H h -> hs := (name, histogram_stats h) :: !hs)
+      | H h -> hs := (name, histogram_stats_unlocked h) :: !hs)
     registry;
   Mutex.unlock lock;
   let by_name (a, _) (b, _) = String.compare a b in

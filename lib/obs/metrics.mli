@@ -54,6 +54,15 @@ type histogram_stats = {
 
 val histogram_stats : histogram -> histogram_stats
 
+(** [quantile stats q] estimates the [q]-quantile ([0. <= q <= 1.])
+    from the power-of-two buckets by linear interpolation inside the
+    bucket holding the ranked observation (each bucket's lower edge is
+    half its upper bound), clamped to the recorded min/max.  [nan] when
+    the histogram is empty.  This is the estimator behind the exported
+    p50/p95/p99: exact to within one bucket (a factor-of-2 bound on the
+    value, tight in practice for latencies that cluster). *)
+val quantile : histogram_stats -> float -> float
+
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * float) list;  (** only gauges that were set *)

@@ -68,10 +68,11 @@ let rec pp_span_at depth ppf (s : Trace.span) =
     s.Trace.name pp_duration s.Trace.duration_s pp_attrs s.Trace.attrs;
   List.iter (pp_span_at (depth + 1) ppf) s.Trace.children
 
-let pp_span_tree ppf () =
-  match Trace.roots () with
+let pp_roots ppf = function
   | [] -> Format.fprintf ppf "(no spans recorded)@."
   | roots -> List.iter (pp_span_at 0 ppf) roots
+
+let pp_span_tree ppf () = pp_roots ppf (Trace.roots ())
 
 let spans_jsonl buf spans =
   let rec emit path (s : Trace.span) =
@@ -121,8 +122,14 @@ let pp_metrics_table ppf () =
         if h.Metrics.count = 0 then
           Format.fprintf ppf "  %-42s%14s@." name "(empty)"
         else
-          Format.fprintf ppf "  %-42scount=%d sum=%g min=%g max=%g@." name
-            h.Metrics.count h.Metrics.sum h.Metrics.min_v h.Metrics.max_v)
+          Format.fprintf ppf
+            "  %-42scount=%d sum=%g min=%g max=%g p50=%.3g p95=%.3g \
+             p99=%.3g@."
+            name h.Metrics.count h.Metrics.sum h.Metrics.min_v
+            h.Metrics.max_v
+            (Metrics.quantile h 0.50)
+            (Metrics.quantile h 0.95)
+            (Metrics.quantile h 0.99))
       snap.Metrics.histograms
   end;
   if
@@ -163,6 +170,12 @@ let snapshot_json (snap : Metrics.snapshot) =
                          ("sum", fun b -> json_float b h.Metrics.sum);
                          ("min", fun b -> json_float b h.Metrics.min_v);
                          ("max", fun b -> json_float b h.Metrics.max_v);
+                         ( "p50",
+                           fun b -> json_float b (Metrics.quantile h 0.50) );
+                         ( "p95",
+                           fun b -> json_float b (Metrics.quantile h 0.95) );
+                         ( "p99",
+                           fun b -> json_float b (Metrics.quantile h 0.99) );
                          ( "buckets",
                            fun b ->
                              Buffer.add_char b '[';
@@ -186,57 +199,83 @@ let snapshot_json (snap : Metrics.snapshot) =
 (* ------------------------------------------------------------------ *)
 
 let flushed_once = ref false
+let flush_lock = Mutex.create ()
+let last_error_ref : string option ref = ref None
+let last_error () = !last_error_ref
+let record_error msg = last_error_ref := Some msg
 
 (* A sink that cannot be written must not take the results down with
-   it: report and carry on. *)
+   it: report, remember (for /healthz), and carry on. *)
 let nonfatal what f =
   try f ()
   with Sys_error msg ->
+    record_error (Printf.sprintf "cannot write %s: %s" what msg);
     Printf.eprintf "tomo_obs: cannot write %s: %s\n%!" what msg
 
-let with_out path f =
+(* Atomic write for snapshot-shaped outputs: a scrape or kill between
+   open and close must never observe a torn file, so write a sibling
+   temp file and rename it over the target. *)
+let write_atomic path content =
   match path with
-  | "-" -> f stdout
+  | "-" ->
+      output_string stdout content;
+      Stdlib.flush stdout
   | path ->
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+      let dir = Filename.dirname path in
+      let tmp = Filename.temp_file ~temp_dir:dir ".tomo_metrics" ".tmp" in
+      let oc = open_out tmp in
+      (try
+         output_string oc content;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp path
 
+(* The body runs under [flush_lock]: a periodic flusher thread and an
+   exiting main thread may both call [flush], and each completed span /
+   metric must be emitted exactly once.  [take_roots] (not [roots] +
+   [reset]) does the draining — reset would also clear another
+   thread's open-span stack state and re-zero drop counters. *)
 let flush () =
+  Mutex.lock flush_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock flush_lock) @@ fun () ->
   flushed_once := true;
   (match !mode with
   | Trace_off -> ()
   | Trace_human ->
+      let roots = Trace.take_roots () in
       let ppf = Format.std_formatter in
       Format.fprintf ppf "@.--- trace ---------------------------------@.";
-      pp_span_tree ppf ();
+      pp_roots ppf roots;
       if Metrics.enabled () then begin
         Format.fprintf ppf "--- metrics -------------------------------@.";
         pp_metrics_table ppf ()
       end;
       Format.pp_print_flush ppf ()
   | Trace_jsonl path ->
-      let buf = Buffer.create 1024 in
-      spans_jsonl buf (Trace.roots ());
-      if path = "-" then (
-        output_string stderr (Buffer.contents buf);
-        Stdlib.flush stderr)
-      else
-        nonfatal ("trace file " ^ path) (fun () ->
-            let oc =
-              open_out_gen [ Open_creat; Open_append; Open_text ] 0o644 path
-            in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc (Buffer.contents buf))));
-  Trace.reset ();
+      let roots = Trace.take_roots () in
+      if roots <> [] then begin
+        let buf = Buffer.create 1024 in
+        spans_jsonl buf roots;
+        if path = "-" then (
+          output_string stderr (Buffer.contents buf);
+          Stdlib.flush stderr)
+        else
+          nonfatal ("trace file " ^ path) (fun () ->
+              let oc =
+                open_out_gen [ Open_creat; Open_append; Open_text ] 0o644 path
+              in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc (Buffer.contents buf)))
+      end);
   match !metrics_path with
   | None -> ()
   | Some path ->
       nonfatal ("metrics file " ^ path) (fun () ->
-          with_out path (fun oc ->
-              output_string oc (snapshot_json (Metrics.snapshot ()));
-              output_char oc '\n';
-              Stdlib.flush oc))
+          write_atomic path (snapshot_json (Metrics.snapshot ()) ^ "\n"))
 
 let mode_of_env () =
   match Sys.getenv_opt "TOMO_TRACE" with

@@ -44,11 +44,24 @@ val pp_metrics_table : Format.formatter -> unit -> unit
 val spans_jsonl : Buffer.t -> Trace.span list -> unit
 
 (** The snapshot as a single JSON object:
-    [{"counters":{...},"gauges":{...},"histograms":{...}}]. *)
+    [{"counters":{...},"gauges":{...},"histograms":{...}}].  Each
+    histogram carries [p50]/[p95]/[p99] estimated from its
+    power-of-two buckets ({!Metrics.quantile}); [null] when empty. *)
 val snapshot_json : Metrics.snapshot -> string
 
-(** Write everything to the configured sinks, then clear recorded
-    spans.  Called automatically at exit after [init]; safe to call
-    earlier (the exit flush then only adds whatever accumulated
-    since). *)
+(** Write everything to the configured sinks, draining recorded spans.
+    Thread-safe and idempotent: concurrent callers serialize on an
+    internal lock, spans are emitted exactly once
+    ({!Trace.take_roots}), and the metrics file is rewritten atomically
+    (temp file + rename) so a concurrent scrape or a kill mid-write
+    never observes a torn JSON file.  Called automatically at exit
+    after [init]; a periodic {!Flusher} calls it on a cadence. *)
 val flush : unit -> unit
+
+(** The most recent sink write failure ([None] if none) — surfaced in
+    the exporter's [/healthz] as [last_error]. *)
+val last_error : unit -> string option
+
+(** Record an error for {!last_error} (used by the exporter and event
+    log for their own write failures). *)
+val record_error : string -> unit

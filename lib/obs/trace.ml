@@ -24,13 +24,44 @@ let stack_key : open_span list ref Domain.DLS.key =
 
 let fin_lock = Mutex.create ()
 let finished : span list ref = ref [] (* completed roots, newest first *)
+let n_finished = ref 0
+let max_roots : int option ref = ref None
+let dropped = ref 0
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
+
+(* Keep the newest [n] roots of the newest-first list.  O(n) per call,
+   but only runs when the cap is exceeded and [n] is the cap. *)
+let truncate_newest n l =
+  let rec go i = function
+    | [] -> []
+    | _ when i >= n -> []
+    | x :: rest -> x :: go (i + 1) rest
+  in
+  go 0 l
+
+let set_max_roots cap =
+  (match cap with
+  | Some n when n <= 0 -> invalid_arg "Trace.set_max_roots: non-positive cap"
+  | _ -> ());
+  Mutex.lock fin_lock;
+  max_roots := cap;
+  (match cap with
+  | Some n when !n_finished > n ->
+      dropped := !dropped + (!n_finished - n);
+      finished := truncate_newest n !finished;
+      n_finished := n
+  | _ -> ());
+  Mutex.unlock fin_lock
+
+let dropped_roots () = !dropped
 
 let reset () =
   Domain.DLS.get stack_key := [];
   Mutex.lock fin_lock;
   finished := [];
+  n_finished := 0;
+  dropped := 0;
   Mutex.unlock fin_lock
 
 let now () = Unix.gettimeofday ()
@@ -71,6 +102,13 @@ let with_span ?attrs name f =
       | [] ->
           Mutex.lock fin_lock;
           finished := s :: !finished;
+          incr n_finished;
+          (match !max_roots with
+          | Some cap when !n_finished > cap ->
+              dropped := !dropped + (!n_finished - cap);
+              finished := truncate_newest cap !finished;
+              n_finished := cap
+          | _ -> ());
           Mutex.unlock fin_lock
     in
     match f () with
@@ -91,5 +129,13 @@ let add_attr k v =
 let roots () =
   Mutex.lock fin_lock;
   let r = List.rev !finished in
+  Mutex.unlock fin_lock;
+  r
+
+let take_roots () =
+  Mutex.lock fin_lock;
+  let r = List.rev !finished in
+  finished := [];
+  n_finished := 0;
   Mutex.unlock fin_lock;
   r

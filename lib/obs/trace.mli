@@ -48,5 +48,25 @@ val add_attr : string -> string -> unit
 (** Completed top-level spans, oldest first. *)
 val roots : unit -> span list
 
-(** Drop all recorded and in-flight spans. *)
+(** Like {!roots}, but also clears the completed-root list (in-flight
+    spans are untouched) — the drain a periodic flusher uses so a
+    long-lived process never re-emits a span and holds no more memory
+    than one flush interval's worth of roots. *)
+val take_roots : unit -> span list
+
+(** [set_max_roots (Some n)] bounds the completed-root list to the [n]
+    newest roots; older ones are dropped as new roots finish (count
+    them with {!dropped_roots}).  [None] (the default) keeps
+    everything, which is right for batch runs but leaks in a daemon
+    that never drains.  Applies retroactively to already-recorded
+    roots.
+    @raise Invalid_argument if [n <= 0]. *)
+val set_max_roots : int option -> unit
+
+(** Roots discarded by the {!set_max_roots} cap since the last
+    {!reset}. *)
+val dropped_roots : unit -> int
+
+(** Drop all recorded and in-flight spans (and the dropped-root
+    count). *)
 val reset : unit -> unit

@@ -168,9 +168,21 @@ let default () =
       t
 
 let set_default_jobs n =
-  (match !default_pool with Some t -> shutdown t | None -> ());
+  let before =
+    match !default_pool with
+    | Some t ->
+        shutdown t;
+        Some t.jobs
+    | None -> None
+  in
   default_pool := Some (create ~jobs:n ());
-  ensure_exit_hook ()
+  ensure_exit_hook ();
+  Obs.Events.emit "pool_resize"
+    [
+      ( "from",
+        match before with Some j -> string_of_int j | None -> "none" );
+      ("jobs", string_of_int n);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Combinators                                                         *)

@@ -11,6 +11,17 @@ let h_tick = Obs.Metrics.histogram "stream_tick_s"
 let h_solve = Obs.Metrics.histogram "stream_solve_s"
 let h_corrset = Obs.Metrics.histogram "stream_corrset_solve_s"
 
+(* Per-tick stage latencies for the serve loop's profile: ingest is the
+   window push + incremental count update, reselect the (occasional)
+   Algorithm 1 re-run, solve the estimate, snapshot the atomic save.
+   Summing the four stage histograms' sums recovers ~all of
+   [stream_tick_s] + snapshot time, so a latency regression names its
+   stage. *)
+let h_stage_ingest = Obs.Metrics.histogram "stream_stage_ingest_s"
+let h_stage_reselect = Obs.Metrics.histogram "stream_stage_reselect_s"
+let h_stage_solve = Obs.Metrics.histogram "stream_stage_solve_s"
+let h_stage_snapshot = Obs.Metrics.histogram "stream_stage_snapshot_s"
+
 (* The engine's cached view of the selected equation system.  [counts]
    is maintained incrementally: pushing a batch changes exactly one ring
    slot, so each row's all-good count moves by the difference between the
@@ -30,6 +41,14 @@ type t = {
   select_config : Tomo.Algorithm1.config option;
   window : Window.t;
   mutable sel : selection_state option;
+  (* Per-engine lifetime stats behind [status] — the global Metrics
+     counters aggregate across engines and reset with the registry, so
+     the status view keeps its own. *)
+  mutable n_estimates : int;
+  mutable n_reselects : int;
+  mutable last_estimate_tick : int;  (* -1 = none yet *)
+  mutable last_rows : int;
+  mutable last_vars : int;
 }
 
 type estimate = {
@@ -45,6 +64,11 @@ let create ?select_config ~model ~window () =
     select_config;
     window = Window.create ~capacity:window ~n_paths:model.Tomo.Model.n_paths;
     sel = None;
+    n_estimates = 0;
+    n_reselects = 0;
+    last_estimate_tick = -1;
+    last_rows = 0;
+    last_vars = 0;
   }
 
 let window t = t.window
@@ -58,7 +82,17 @@ let of_snapshot ?select_config ~model snap =
       (Printf.sprintf
          "Engine.of_snapshot: snapshot has %d paths, model has %d"
          snap.Snapshot.n_paths model.Tomo.Model.n_paths);
-  { model; select_config; window = Snapshot.window_of snap; sel = None }
+  {
+    model;
+    select_config;
+    window = Snapshot.window_of snap;
+    sel = None;
+    n_estimates = 0;
+    n_reselects = 0;
+    last_estimate_tick = -1;
+    last_rows = 0;
+    last_vars = 0;
+  }
 
 let paths_mask n_paths paths =
   let b = Bitset.create n_paths in
@@ -68,6 +102,13 @@ let paths_mask n_paths paths =
 let build_selection t ~always =
   Obs.Trace.with_span "stream.reselect" @@ fun () ->
   Obs.Metrics.incr c_reselects;
+  t.n_reselects <- t.n_reselects + 1;
+  Obs.Events.emit "reselect"
+    [
+      ("tick", string_of_int (Window.ticks t.window));
+      ("always_good", string_of_int (Bitset.count always));
+    ];
+  let t0 = Unix.gettimeofday () in
   let selection =
     Tomo.Algorithm1.select ?config:t.select_config t.model
       (Window.observations t.window)
@@ -85,6 +126,8 @@ let build_selection t ~always =
           if Bitset.subset mask col then counts.(i) <- counts.(i) + 1)
         row_masks)
     t.window;
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe h_stage_reselect (Unix.gettimeofday () -. t0);
   { selection; row_masks; counts; always_good = always }
 
 (* Refresh [sel.counts] after one ring slot was replaced. *)
@@ -141,6 +184,14 @@ let solve ?pool t =
         links)
     per_set;
   Obs.Metrics.incr c_estimates;
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.observe h_stage_solve (Unix.gettimeofday () -. t0);
+  let n_vars = Tomo.Eqn.n_vars s.selection.Tomo.Algorithm1.registry in
+  let n_rows = Array.length s.selection.Tomo.Algorithm1.rows in
+  t.n_estimates <- t.n_estimates + 1;
+  t.last_estimate_tick <- Window.ticks t.window;
+  t.last_rows <- n_rows;
+  t.last_vars <- n_vars;
   {
     tick = Window.ticks t.window;
     result =
@@ -148,8 +199,8 @@ let solve ?pool t =
         Tomo.Pc_result.marginals;
         identifiable;
         effective = s.selection.Tomo.Algorithm1.effective;
-        n_vars = Tomo.Eqn.n_vars s.selection.Tomo.Algorithm1.registry;
-        n_rows = Array.length s.selection.Tomo.Algorithm1.rows;
+        n_vars;
+        n_rows;
       };
     engine;
   }
@@ -172,14 +223,26 @@ let ingest ?pool t good =
       (float_of_int (Window.capacity t.window))
   end;
   let est =
-    if not (Window.is_full t.window) then None
+    if not (Window.is_full t.window) then begin
+      if Obs.Metrics.enabled () then
+        Obs.Metrics.observe h_stage_ingest (Unix.gettimeofday () -. t0);
+      None
+    end
     else begin
       (match (t.sel, evicted) with
       | Some s, Some evicted
         when Bitset.equal s.always_good (Window.always_good_paths t.window)
         ->
-          update_counts s ~evicted ~fresh:good
-      | _ -> ensure_selection t);
+          update_counts s ~evicted ~fresh:good;
+          if Obs.Metrics.enabled () then
+            Obs.Metrics.observe h_stage_ingest (Unix.gettimeofday () -. t0)
+      | _ ->
+          (* The ingest stage ends where re-selection begins: charge the
+             push + count bookkeeping here, the Algorithm 1 re-run to
+             [stream_stage_reselect_s] inside [build_selection]. *)
+          if Obs.Metrics.enabled () then
+            Obs.Metrics.observe h_stage_ingest (Unix.gettimeofday () -. t0);
+          ensure_selection t);
       Some (solve ?pool t)
     end
   in
@@ -199,10 +262,16 @@ let run ?pool ?snapshot_out ?(snapshot_every = 1) ?max_ticks t source
   if snapshot_every <= 0 then
     invalid_arg "Engine.run: non-positive snapshot interval";
   let budget = match max_ticks with Some k -> k | None -> max_int in
+  let save_snapshot path =
+    let t0 = Unix.gettimeofday () in
+    Snapshot.save path (snapshot t);
+    if Obs.Metrics.enabled () then
+      Obs.Metrics.observe h_stage_snapshot (Unix.gettimeofday () -. t0)
+  in
   let maybe_snapshot () =
     match snapshot_out with
     | Some path when Window.ticks t.window mod snapshot_every = 0 ->
-        Snapshot.save path (snapshot t)
+        save_snapshot path
     | _ -> ()
   in
   let rec loop last n =
@@ -220,9 +289,97 @@ let run ?pool ?snapshot_out ?(snapshot_every = 1) ?max_ticks t source
   (* Always leave a snapshot at the stopping point, so a shutdown that
      falls between snapshot cadence ticks still resumes exactly here. *)
   (match snapshot_out with
-  | Some path -> Snapshot.save path (snapshot t)
+  | Some path -> save_snapshot path
   | None -> ());
   last
+
+(* ------------------------------------------------------------------ *)
+(* Status snapshot (for the telemetry exporter)                        *)
+(* ------------------------------------------------------------------ *)
+
+type status = {
+  st_ticks : int;
+  st_occupancy : int;
+  st_capacity : int;
+  st_full : bool;
+  st_estimates : int;
+  st_reselects : int;
+  st_last_estimate_tick : int option;
+  st_last_rows : int option;
+  st_last_vars : int option;
+}
+
+(* A status is an immutable copy of the engine's scalar state: the serve
+   loop captures one per tick and publishes it, so the exporter thread
+   renders a consistent snapshot without ever touching live engine
+   internals. *)
+let status t =
+  {
+    st_ticks = Window.ticks t.window;
+    st_occupancy = Window.occupancy t.window;
+    st_capacity = Window.capacity t.window;
+    st_full = Window.is_full t.window;
+    st_estimates = t.n_estimates;
+    st_reselects = t.n_reselects;
+    st_last_estimate_tick =
+      (if t.last_estimate_tick < 0 then None else Some t.last_estimate_tick);
+    st_last_rows = (if t.last_estimate_tick < 0 then None else Some t.last_rows);
+    st_last_vars = (if t.last_estimate_tick < 0 then None else Some t.last_vars);
+  }
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_opt_int buf = function
+  | None -> Buffer.add_string buf "null"
+  | Some v -> Buffer.add_string buf (string_of_int v)
+
+let status_json ?uptime_s ?snapshot_age_s ?last_error st =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "{\"status\":\"%s\",\"ticks\":%d,\"window\":{\"occupancy\":%d,\
+     \"capacity\":%d,\"full\":%s}"
+    (if st.st_full then "ok" else "warming_up")
+    st.st_ticks st.st_occupancy st.st_capacity
+    (if st.st_full then "true" else "false");
+  Printf.bprintf b ",\"estimates\":%d,\"reselects\":%d" st.st_estimates
+    st.st_reselects;
+  Buffer.add_string b ",\"last_estimate\":";
+  (match st.st_last_estimate_tick with
+  | None -> Buffer.add_string b "null"
+  | Some tick ->
+      Printf.bprintf b "{\"tick\":%d,\"rows\":" tick;
+      add_opt_int b st.st_last_rows;
+      Buffer.add_string b ",\"vars\":";
+      add_opt_int b st.st_last_vars;
+      Buffer.add_char b '}');
+  (match uptime_s with
+  | None -> ()
+  | Some u -> Printf.bprintf b ",\"uptime_s\":%.3f" u);
+  Buffer.add_string b ",\"snapshot_age_s\":";
+  (match snapshot_age_s with
+  | None -> Buffer.add_string b "null"
+  | Some a -> Printf.bprintf b "%.3f" a);
+  Buffer.add_string b ",\"last_error\":";
+  (match last_error with
+  | None -> Buffer.add_string b "null"
+  | Some e ->
+      Buffer.add_char b '"';
+      json_escape b e;
+      Buffer.add_char b '"');
+  Buffer.add_char b '}';
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* Diffable final report                                                *)

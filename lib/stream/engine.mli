@@ -26,7 +26,14 @@
     [stream_reselects]; gauges [stream_window_occupancy],
     [stream_window_capacity]; histograms [stream_tick_s] (whole-tick
     latency), [stream_solve_s] (CGLS solve), [stream_corrset_solve_s]
-    (per-correlation-set marginal extraction). *)
+    (per-correlation-set marginal extraction), and the per-tick stage
+    profile [stream_stage_ingest_s] / [stream_stage_reselect_s] /
+    [stream_stage_solve_s] / [stream_stage_snapshot_s] (window push +
+    count bookkeeping, Algorithm 1 re-run, estimate, atomic snapshot
+    save).  Lifecycle events (via {!Tomo_obs.Events}, off unless
+    configured): [reselect], plus [source_open]/[source_eof] from
+    {!Source} and [snapshot_written]/[snapshot_restored] from
+    {!Snapshot}. *)
 
 type t
 
@@ -96,6 +103,36 @@ val run :
   Source.t ->
   on_tick:(t -> estimate option -> unit) ->
   estimate option
+
+(** An immutable copy of the engine's scalar state, captured on the
+    engine's own thread ({!status}) and safe to hand to the telemetry
+    exporter's thread afterwards. *)
+type status = {
+  st_ticks : int;
+  st_occupancy : int;
+  st_capacity : int;
+  st_full : bool;
+  st_estimates : int;  (** estimates this engine computed (lifetime) *)
+  st_reselects : int;  (** Algorithm 1 re-runs this engine performed *)
+  st_last_estimate_tick : int option;  (** [None] before the first *)
+  st_last_rows : int option;
+  st_last_vars : int option;
+}
+
+val status : t -> status
+
+(** [status_json ?uptime_s ?snapshot_age_s ?last_error st] renders the
+    status as the stable JSON object served at [/healthz] and
+    [/status]: [{"status":"ok"|"warming_up","ticks":..,"window":
+    {"occupancy":..,"capacity":..,"full":..},"estimates":..,
+    "reselects":..,"last_estimate":{..}|null,("uptime_s":..,)
+    "snapshot_age_s":..|null,"last_error":..|null}]. *)
+val status_json :
+  ?uptime_s:float ->
+  ?snapshot_age_s:float ->
+  ?last_error:string ->
+  status ->
+  string
 
 (** [report_to_string ~window est] renders the estimate in the stable,
     diffable [tomo-report v1] text format ([%.17g] marginals, so equal

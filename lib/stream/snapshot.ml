@@ -157,6 +157,13 @@ let of_string ?(filename = "<string>") s =
 
 (* Write-to-temp then rename, so a crash mid-save (the scenario snapshots
    exist for) can never leave a half-written file at the target path. *)
+(* Wall-clock of the last successful [save] in this process, feeding the
+   exporter's snapshot-age health field.  A single boxed-ref store, so a
+   concurrent reader on the exporter thread sees either the old or the
+   new timestamp, never a torn one. *)
+let last_saved : float option ref = ref None
+let last_saved_at () = !last_saved
+
 let save path t =
   let dir = Filename.dirname path in
   let tmp = Filename.temp_file ~temp_dir:dir "tomo_snapshot" ".tmp" in
@@ -169,10 +176,18 @@ let save path t =
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   Sys.rename tmp path;
-  Obs.Metrics.incr c_saved
+  Obs.Metrics.incr c_saved;
+  last_saved := Some (Unix.gettimeofday ());
+  Obs.Events.emit "snapshot_written"
+    [ ("path", path); ("ticks", string_of_int t.ticks) ]
 
 let load path =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string ~filename:path (In_channel.input_all ic))
+  let t =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string ~filename:path (In_channel.input_all ic))
+  in
+  Obs.Events.emit "snapshot_restored"
+    [ ("path", path); ("ticks", string_of_int t.ticks) ];
+  t

@@ -42,7 +42,14 @@ val to_string : t -> string
     checksum, bad header, ragged/duplicate/missing columns. *)
 val of_string : ?filename:string -> string -> t
 
-(** Atomic (write + rename) save. *)
+(** Atomic (write + rename) save.  Emits a [snapshot_written] event and
+    stamps {!last_saved_at}. *)
 val save : string -> t -> unit
 
+(** Emits a [snapshot_restored] event on success. *)
 val load : string -> t
+
+(** Wall-clock time of the last successful {!save} in this process
+    ([None] if none yet) — the exporter derives the [/healthz]
+    snapshot-age field from it.  Safe to read from another thread. *)
+val last_saved_at : unit -> float option

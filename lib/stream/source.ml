@@ -1,4 +1,5 @@
 module Bitset = Tomo_util.Bitset
+module Obs = Tomo_obs
 
 module type S = sig
   type conn
@@ -110,6 +111,11 @@ module Trace_source = struct
       match next_payload_line c with
       | None ->
           c.eof <- true;
+          Obs.Events.emit "source_eof"
+            [
+              ("source", c.filename);
+              ("ticks", string_of_int c.next_tick);
+            ];
           None
       | Some line -> Some (parse_batch c line)
 
@@ -156,6 +162,8 @@ let of_trace_channel ?(filename = "<channel>") ?(owns_channel = false) ic =
                                             'paths <n>' line"
   in
   let conn = { conn with paths } in
+  Obs.Events.emit "source_open"
+    [ ("source", filename); ("paths", string_of_int paths) ];
   Source ((module Trace_source), conn)
 
 let of_trace_file path =
@@ -187,5 +195,12 @@ module Obs_source = struct
   let close _ = ()
 end
 
-let of_observations obs = Source ((module Obs_source), { obs; cursor = 0 })
+let of_observations obs =
+  Obs.Events.emit "source_open"
+    [
+      ("source", "<observations>");
+      ("paths", string_of_int (Tomo.Observations.n_paths obs));
+    ];
+  Source ((module Obs_source), { obs; cursor = 0 })
+
 let of_observations_file path = of_observations (Tomo.Observations_io.load path)

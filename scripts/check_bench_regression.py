@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail if kernel benchmark rows regressed vs the committed baseline.
+
+Usage: check_bench_regression.py bench/BASELINE_perf.json BENCH_perf.json
+
+Absolute ns/call is machine-dependent, so comparing raw numbers against a
+baseline measured elsewhere would fail on any runner change.  Instead each
+kernel row's new/old ratio is normalized by the median ratio across all
+kernel rows (the machine-speed factor); a row whose normalized ratio
+exceeds the threshold got slower relative to its peers — a real, local
+regression rather than a slow runner.
+"""
+import json
+import sys
+
+THRESHOLD = 1.25  # >25% speed-normalized regression fails the job
+PREFIX = "tomo kernel/"
+
+
+def kernel_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {
+        b["name"]: b["ns_per_call"]
+        for b in doc["benchmarks"]
+        if b["name"].startswith(PREFIX) and b["ns_per_call"]
+    }
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        return 2
+    base_path, new_path = sys.argv[1], sys.argv[2]
+    base, new = kernel_rows(base_path), kernel_rows(new_path)
+    missing = sorted(set(base) - set(new))
+    if missing:
+        # a kernel row silently dropped from the bench dodges the gate
+        print("kernel rows missing from %s:" % new_path)
+        for name in missing:
+            print("  " + name)
+        return 1
+    common = sorted(set(base) & set(new))
+    if not common:
+        print("no common kernel rows between %s and %s" % (base_path, new_path))
+        return 1
+    ratios = {name: new[name] / base[name] for name in common}
+    speed = sorted(ratios.values())[len(ratios) // 2]
+    print("machine-speed factor (median new/old): %.3f" % speed)
+    print("%-50s%12s%12s%12s" % ("kernel row", "old ns", "new ns", "norm"))
+    failed = []
+    for name in common:
+        norm = ratios[name] / speed
+        flag = "  REGRESSED" if norm > THRESHOLD else ""
+        print("%-50s%12.0f%12.0f%12.2f%s" % (name, base[name], new[name], norm, flag))
+        if norm > THRESHOLD:
+            failed.append(name)
+    if failed:
+        print()
+        print(
+            "%d kernel row(s) regressed >%d%% vs %s (speed-normalized)"
+            % (len(failed), round((THRESHOLD - 1) * 100), base_path)
+        )
+        return 1
+    print()
+    print(
+        "all kernel rows within %d%% of baseline (speed-normalized)"
+        % round((THRESHOLD - 1) * 100)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

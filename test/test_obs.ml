@@ -6,6 +6,10 @@
 module Trace = Tomo_obs.Trace
 module Metrics = Tomo_obs.Metrics
 module Sink = Tomo_obs.Sink
+module Events = Tomo_obs.Events
+module Exporter = Tomo_obs.Exporter
+module Flusher = Tomo_obs.Flusher
+module Engine = Tomo_stream.Engine
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -263,6 +267,429 @@ let test_snapshot_json_shape () =
 (* Streaming engine metrics reach the same sink                        *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Quantile estimation from power-of-two buckets                       *)
+(* ------------------------------------------------------------------ *)
+
+let stats ~count ~sum ~min_v ~max_v buckets =
+  { Metrics.count; sum; min_v; max_v; buckets }
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_quantile_edges () =
+  let empty = stats ~count:0 ~sum:0.0 ~min_v:infinity ~max_v:neg_infinity [] in
+  check_bool "empty histogram has no quantiles" true
+    (Float.is_nan (Metrics.quantile empty 0.5));
+  let s = stats ~count:4 ~sum:3.0 ~min_v:0.6 ~max_v:0.95 [ (1.0, 4) ] in
+  check_float "q=0 is the min" 0.6 (Metrics.quantile s 0.0);
+  check_float "q=1 is the max" 0.95 (Metrics.quantile s 1.0);
+  (* rank 2 of 4 in (0.5,1]: 0.5 + 0.5 * 2/4 *)
+  check_float "median interpolates inside the bucket" 0.75
+    (Metrics.quantile s 0.5);
+  (* rank 3.96 interpolates to 0.995, past the recorded max — clamp *)
+  check_float "estimate clamps to the recorded max" 0.95
+    (Metrics.quantile s 0.99)
+
+let test_quantile_multibucket () =
+  let s =
+    stats ~count:4 ~sum:7.7 ~min_v:0.8 ~max_v:3.9
+      [ (1.0, 1); (2.0, 1); (4.0, 2) ]
+  in
+  (* rank 2 falls on the (1,2] bucket's last observation *)
+  check_float "p50 from the middle bucket" 2.0 (Metrics.quantile s 0.5);
+  (* rank 3 is halfway through the (2,4] bucket *)
+  check_float "p75 from the top bucket" 3.0 (Metrics.quantile s 0.75);
+  check_bool "quantiles are monotone in q" true
+    (Metrics.quantile s 0.25 <= Metrics.quantile s 0.5
+    && Metrics.quantile s 0.5 <= Metrics.quantile s 0.95)
+
+let test_quantile_underflow () =
+  let s =
+    stats ~count:4 ~sum:(-4.0) ~min_v:(-3.0) ~max_v:0.9
+      [ (0.0, 2); (1.0, 2) ]
+  in
+  (* the underflow bucket has no width to interpolate over *)
+  check_float "underflow bucket pins to 0" 0.0 (Metrics.quantile s 0.25)
+
+let test_quantile_observed () =
+  with_metrics @@ fun () ->
+  let h = Metrics.histogram "test_obs.quant_h" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i *. 0.001)
+  done;
+  let s = Metrics.histogram_stats h in
+  let p50 = Metrics.quantile s 0.5
+  and p95 = Metrics.quantile s 0.95
+  and p99 = Metrics.quantile s 0.99 in
+  check_bool "estimates stay inside the observed range" true
+    (s.Metrics.min_v <= p50 && p99 <= s.Metrics.max_v);
+  check_bool "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
+  (* true p50 is 0.0505; bucket interpolation is within a factor of 2 *)
+  check_bool "p50 within its bucket's factor-of-2 bound" true
+    (p50 >= 0.0505 /. 2.0 && p50 <= 0.0505 *. 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded root retention and draining                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_root_cap () =
+  with_tracing @@ fun () ->
+  Fun.protect ~finally:(fun () -> Trace.set_max_roots None) @@ fun () ->
+  Alcotest.check_raises "cap must be positive"
+    (Invalid_argument "Trace.set_max_roots: non-positive cap") (fun () ->
+      Trace.set_max_roots (Some 0));
+  for i = 1 to 3 do
+    Trace.with_span (Printf.sprintf "r%d" i) (fun () -> ())
+  done;
+  (* retroactive: the cap trims already-recorded roots, oldest first *)
+  Trace.set_max_roots (Some 2);
+  (match Trace.roots () with
+  | [ a; b ] ->
+      check_string "newest survive (1)" "r2" a.Trace.name;
+      check_string "newest survive (2)" "r3" b.Trace.name
+  | l -> Alcotest.failf "expected 2 roots, got %d" (List.length l));
+  check_int "retroactive drop counted" 1 (Trace.dropped_roots ());
+  (* steady state: each new root past the cap drops the oldest *)
+  for i = 4 to 6 do
+    Trace.with_span (Printf.sprintf "r%d" i) (fun () -> ())
+  done;
+  check_int "cap holds under new roots" 2 (List.length (Trace.roots ()));
+  check_int "drops accumulate" 4 (Trace.dropped_roots ());
+  match Trace.roots () with
+  | [ a; b ] ->
+      check_string "oldest evicted first (1)" "r5" a.Trace.name;
+      check_string "oldest evicted first (2)" "r6" b.Trace.name
+  | l -> Alcotest.failf "expected 2 roots, got %d" (List.length l)
+
+let test_take_roots_drains () =
+  with_tracing @@ fun () ->
+  Trace.with_span "one" (fun () -> ());
+  Trace.with_span "two" (fun () -> ());
+  let drained = Trace.take_roots () in
+  check_int "take returns everything, oldest first" 2 (List.length drained);
+  check_string "order preserved" "one" (List.hd drained).Trace.name;
+  check_int "list is emptied" 0 (List.length (Trace.roots ()));
+  (* spans completed after a drain show up in the next one *)
+  Trace.with_span "three" (fun () -> ());
+  check_int "new roots accumulate again" 1 (List.length (Trace.take_roots ()))
+
+let test_take_roots_leaves_open_spans () =
+  with_tracing @@ fun () ->
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" (fun () -> ());
+      (* inner closed under the still-open outer: not a root yet *)
+      check_int "no finished roots while outer is open" 0
+        (List.length (Trace.take_roots ())));
+  match Trace.roots () with
+  | [ outer ] ->
+      check_string "outer completes intact after the drain" "outer"
+        outer.Trace.name;
+      check_int "child survived" 1 (List.length outer.Trace.children)
+  | l -> Alcotest.failf "expected 1 root, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Event log                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_line_golden () =
+  check_string "stable JSONL shape"
+    "{\"ts\":12.500000,\"event\":\"reselect\",\"tick\":\"40\"}"
+    (Events.line ~ts:12.5 "reselect" [ ("tick", "40") ]);
+  check_string "no attrs"
+    "{\"ts\":0.000000,\"event\":\"source_eof\"}"
+    (Events.line ~ts:0.0 "source_eof" [])
+
+let event_escaping_prop =
+  QCheck.Test.make ~count:500 ~name:"event lines are single balanced JSON"
+    QCheck.(triple string string string)
+    (fun (event, k, v) ->
+      let l = Events.line ~ts:1.0 event [ (k, v) ] in
+      json_balanced l
+      && String.for_all (fun c -> Char.code c >= 0x20) l)
+
+let test_event_file_round_trip () =
+  let tmp = Filename.temp_file "tomo_events" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+  @@ fun () ->
+  Events.configure (Some tmp);
+  check_bool "configured" true (Events.enabled ());
+  Events.emit ~ts:1.0 "alpha" [];
+  Events.emit ~ts:2.0 "beta" [ ("k", "line\nbreak") ];
+  Events.close ();
+  Events.close ();
+  (* idempotent *)
+  check_bool "closed" true (not (Events.enabled ()));
+  Events.emit ~ts:3.0 "dropped" [];
+  (* no-op once closed *)
+  let ic = open_in tmp in
+  let lines = In_channel.input_lines ic in
+  close_in ic;
+  check_int "one line per event, none after close" 2 (List.length lines);
+  List.iter
+    (fun l -> check_bool "balanced JSON line" true (json_balanced l))
+    lines;
+  check_bool "events appear in emission order" true
+    (contains ~needle:"\"event\":\"alpha\"" (List.nth lines 0)
+    && contains ~needle:"\"event\":\"beta\"" (List.nth lines 1));
+  check_bool "newline in attr value escaped" true
+    (contains ~needle:"line\\nbreak" (List.nth lines 1))
+
+(* ------------------------------------------------------------------ *)
+(* Flush: idempotent, atomic, drains exactly once                      *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_flush_idempotent_atomic () =
+  let dir = Filename.temp_file "tomo_flush" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let tpath = Filename.concat dir "trace.jsonl" in
+  let mpath = Filename.concat dir "metrics.json" in
+  Fun.protect ~finally:(fun () ->
+      Sink.init ~trace:Sink.Trace_off ();
+      Metrics.set_enabled false;
+      Trace.set_enabled false;
+      Trace.reset ();
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Sink.init ~trace:(Sink.Trace_jsonl tpath) ~metrics_out:mpath ();
+  Metrics.set_enabled true;
+  Trace.with_span "flush_once" (fun () -> ());
+  Metrics.incr ~by:7 (Metrics.counter "test_obs.flush_c");
+  Sink.flush ();
+  Sink.flush ();
+  (* span drained by the first flush, so the second writes nothing *)
+  let trace_lines =
+    String.split_on_char '\n' (read_file tpath)
+    |> List.filter (fun l -> l <> "")
+  in
+  check_int "span emitted exactly once across two flushes" 1
+    (List.length trace_lines);
+  let mjson = read_file mpath in
+  check_bool "metrics file is balanced JSON" true (json_balanced mjson);
+  check_bool "counter present" true
+    (contains ~needle:"\"test_obs.flush_c\":7" mjson);
+  (* atomic write must not leave temp litter behind *)
+  let leftovers =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> f <> "trace.jsonl" && f <> "metrics.json")
+  in
+  check_int "no temp files left by the atomic rename" 0
+    (List.length leftovers)
+
+(* ------------------------------------------------------------------ *)
+(* Flusher: periodic background flushing                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_flusher_periodic () =
+  Alcotest.check_raises "period must be positive"
+    (Invalid_argument "Flusher.start: non-positive period") (fun () ->
+      ignore (Flusher.start ~period_s:0.0 ()));
+  let mpath = Filename.temp_file "tomo_flusher" ".json" in
+  Fun.protect ~finally:(fun () ->
+      Sink.init ~trace:Sink.Trace_off ();
+      Metrics.set_enabled false;
+      try Sys.remove mpath with Sys_error _ -> ())
+  @@ fun () ->
+  Sink.init ~trace:Sink.Trace_off ~metrics_out:mpath ();
+  Metrics.set_enabled true;
+  let flushes = Metrics.counter "telemetry_flushes" in
+  let before = Metrics.counter_value flushes in
+  let f = Flusher.start ~period_s:0.02 () in
+  Thread.delay 0.1;
+  Flusher.stop f;
+  Flusher.stop f;
+  (* idempotent *)
+  check_bool "flushed at least once on the cadence" true
+    (Metrics.counter_value flushes > before);
+  check_bool "metrics file written while running" true
+    (json_balanced (read_file mpath))
+
+(* ------------------------------------------------------------------ *)
+(* Exporter: Prometheus rendering and the HTTP round trip              *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_golden () =
+  let snap =
+    {
+      Metrics.counters = [ ("stream_ticks", 60); ("test.odd-name", 2) ];
+      gauges = [ ("stream_window_occupancy", 40.0) ];
+      histograms =
+        [
+          ( "stream_stage_solve_s",
+            stats ~count:3 ~sum:0.046875 ~min_v:0.01 ~max_v:0.02
+              [ (0.015625, 2); (0.03125, 1) ] );
+          ( "empty_h",
+            stats ~count:0 ~sum:0.0 ~min_v:infinity ~max_v:neg_infinity [] );
+        ];
+    }
+  in
+  check_string "prometheus text exposition"
+    "# TYPE stream_ticks counter\n\
+     stream_ticks 60\n\
+     # TYPE test_odd_name counter\n\
+     test_odd_name 2\n\
+     # TYPE stream_window_occupancy gauge\n\
+     stream_window_occupancy 40\n\
+     # TYPE stream_stage_solve_s histogram\n\
+     stream_stage_solve_s_bucket{le=\"0.015625\"} 2\n\
+     stream_stage_solve_s_bucket{le=\"0.03125\"} 3\n\
+     stream_stage_solve_s_bucket{le=\"+Inf\"} 3\n\
+     stream_stage_solve_s_sum 0.046875\n\
+     stream_stage_solve_s_count 3\n\
+     # TYPE empty_h histogram\n\
+     empty_h_bucket{le=\"+Inf\"} 0\n\
+     empty_h_sum 0\n\
+     empty_h_count 0\n"
+    (Exporter.prometheus_of_snapshot snap)
+
+let test_listen_of_string () =
+  let ok l = Ok l in
+  check_bool ":port is localhost TCP" true
+    (Exporter.listen_of_string ":9100" = ok (Exporter.Tcp ("127.0.0.1", 9100)));
+  check_bool "bare port is localhost TCP" true
+    (Exporter.listen_of_string "9100" = ok (Exporter.Tcp ("127.0.0.1", 9100)));
+  check_bool "host:port keeps the host" true
+    (Exporter.listen_of_string "localhost:9100"
+    = ok (Exporter.Tcp ("localhost", 9100)));
+  check_bool "a path is a unix socket" true
+    (Exporter.listen_of_string "/tmp/foo.sock"
+    = ok (Exporter.Unix_sock "/tmp/foo.sock"));
+  check_bool "relative path too" true
+    (Exporter.listen_of_string "telemetry.sock"
+    = ok (Exporter.Unix_sock "telemetry.sock"));
+  check_bool "empty is an error" true
+    (match Exporter.listen_of_string "" with Error _ -> true | Ok _ -> false);
+  check_bool "out-of-range port is an error" true
+    (match Exporter.listen_of_string ":99999" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let http_get sock_path path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX sock_path);
+  let req = "GET " ^ path ^ " HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write_substring fd req 0 (String.length req));
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    let n = Unix.read fd chunk 0 1024 in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      go ()
+    end
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents buf
+
+let test_exporter_round_trip () =
+  with_metrics @@ fun () ->
+  let sock = Filename.temp_file "tomo_exp" ".sock" in
+  Sys.remove sock;
+  let exp =
+    Exporter.start
+      ~health:(fun () -> "{\"status\":\"ok\",\"ticks\":7}")
+      (Exporter.Unix_sock sock)
+  in
+  Fun.protect ~finally:(fun () -> Exporter.stop exp) @@ fun () ->
+  let h = Metrics.histogram "test_obs.exp_h" in
+  Metrics.observe h 0.25;
+  let resp = http_get sock "/metrics" in
+  check_bool "scrape succeeds" true (contains ~needle:"200 OK" resp);
+  (* 0.25 lands in the [0.25, 0.5) bucket, upper bound 0.5 *)
+  check_bool "histogram in prometheus form" true
+    (contains ~needle:"test_obs_exp_h_bucket{le=\"0.5\"} 1" resp);
+  check_bool "scrapes count themselves" true
+    (contains ~needle:"telemetry_scrapes" resp);
+  let health = http_get sock "/healthz" in
+  check_bool "health callback body passes through" true
+    (contains ~needle:"\"ticks\":7" health);
+  check_bool "health is JSON" true
+    (contains ~needle:"application/json" health);
+  let missing = http_get sock "/nope" in
+  check_bool "unknown path is 404" true (contains ~needle:"404" missing);
+  let status = http_get sock "/status" in
+  check_bool "no status view configured means 404" true
+    (contains ~needle:"404" status);
+  Exporter.stop exp;
+  check_bool "socket file removed on stop" true (not (Sys.file_exists sock));
+  Exporter.stop exp (* idempotent *)
+
+(* ------------------------------------------------------------------ *)
+(* Engine status view                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_status_json_golden () =
+  let st =
+    {
+      Engine.st_ticks = 60;
+      st_occupancy = 40;
+      st_capacity = 40;
+      st_full = true;
+      st_estimates = 21;
+      st_reselects = 1;
+      st_last_estimate_tick = Some 60;
+      st_last_rows = Some 565;
+      st_last_vars = Some 595;
+    }
+  in
+  check_string "full engine"
+    "{\"status\":\"ok\",\"ticks\":60,\"window\":{\"occupancy\":40,\
+     \"capacity\":40,\"full\":true},\"estimates\":21,\"reselects\":1,\
+     \"last_estimate\":{\"tick\":60,\"rows\":565,\"vars\":595},\
+     \"uptime_s\":1.500,\"snapshot_age_s\":0.250,\"last_error\":null}"
+    (Engine.status_json ~uptime_s:1.5 ~snapshot_age_s:0.25 st);
+  let warming =
+    {
+      st with
+      Engine.st_ticks = 12;
+      st_occupancy = 12;
+      st_full = false;
+      st_estimates = 0;
+      st_last_estimate_tick = None;
+      st_last_rows = None;
+      st_last_vars = None;
+    }
+  in
+  check_string "warming up, with a sink error"
+    "{\"status\":\"warming_up\",\"ticks\":12,\"window\":{\"occupancy\":12,\
+     \"capacity\":40,\"full\":false},\"estimates\":0,\"reselects\":1,\
+     \"last_estimate\":null,\"snapshot_age_s\":null,\
+     \"last_error\":\"boom \\\"quoted\\\"\"}"
+    (Engine.status_json ~last_error:"boom \"quoted\"" warming)
+
+let test_engine_status () =
+  let model = Tomo.Toy.case1 () in
+  let engine = Engine.create ~model ~window:2 () in
+  let st0 = Engine.status engine in
+  check_bool "fresh engine is warming up" true (not st0.Engine.st_full);
+  check_bool "no estimate yet" true (st0.Engine.st_last_estimate_tick = None);
+  for _ = 1 to 3 do
+    let col = Tomo_util.Bitset.create model.Tomo.Model.n_paths in
+    Tomo_util.Bitset.set_all col;
+    ignore (Engine.ingest engine col)
+  done;
+  let st = Engine.status engine in
+  check_int "ticks counted" 3 st.Engine.st_ticks;
+  check_int "occupancy is the window fill" 2 st.Engine.st_occupancy;
+  check_bool "full once warmed" true st.Engine.st_full;
+  check_int "estimates counted" 2 st.Engine.st_estimates;
+  check_bool "last estimate stamped with its tick" true
+    (st.Engine.st_last_estimate_tick = Some 3);
+  check_bool "rows/vars recorded" true
+    (st.Engine.st_last_rows <> None && st.Engine.st_last_vars <> None)
+
 let test_stream_metrics_exported () =
   with_metrics @@ fun () ->
   let model = Tomo.Toy.case1 () in
@@ -284,10 +711,17 @@ let test_stream_metrics_exported () =
     (contains ~needle:"\"stream_window_occupancy\":2" json);
   check_bool "capacity gauge" true
     (contains ~needle:"\"stream_window_capacity\":2" json);
-  (* latency histograms observed at least once *)
+  (* latency histograms observed at least once, including the per-tick
+     stage profile behind the exporter's /metrics view *)
   List.iter
     (fun h -> check_bool h true (contains ~needle:("\"" ^ h ^ "\":") json))
-    [ "stream_tick_s"; "stream_solve_s" ]
+    [
+      "stream_tick_s";
+      "stream_solve_s";
+      "stream_stage_ingest_s";
+      "stream_stage_solve_s";
+      "stream_stage_reselect_s";
+    ]
 
 let () =
   Alcotest.run "obs"
@@ -316,6 +750,13 @@ let () =
           Alcotest.test_case "disabled mode records nothing" `Quick
             test_metrics_disabled_noop;
           Alcotest.test_case "snapshot shape" `Quick test_snapshot_shape;
+          Alcotest.test_case "quantile edge cases" `Quick test_quantile_edges;
+          Alcotest.test_case "quantile across buckets" `Quick
+            test_quantile_multibucket;
+          Alcotest.test_case "quantile underflow bucket" `Quick
+            test_quantile_underflow;
+          Alcotest.test_case "quantile on observed data" `Quick
+            test_quantile_observed;
         ] );
       ( "sink",
         [
@@ -325,5 +766,41 @@ let () =
             test_snapshot_json_shape;
           Alcotest.test_case "streaming engine metrics exported" `Quick
             test_stream_metrics_exported;
+          Alcotest.test_case "flush is idempotent and atomic" `Quick
+            test_flush_idempotent_atomic;
+        ] );
+      ( "trace retention",
+        [
+          Alcotest.test_case "max_roots caps and counts drops" `Quick
+            test_root_cap;
+          Alcotest.test_case "take_roots drains exactly once" `Quick
+            test_take_roots_drains;
+          Alcotest.test_case "take_roots leaves open spans" `Quick
+            test_take_roots_leaves_open_spans;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "line shape is stable" `Quick
+            test_event_line_golden;
+          QCheck_alcotest.to_alcotest event_escaping_prop;
+          Alcotest.test_case "file round trip" `Quick
+            test_event_file_round_trip;
+        ] );
+      ( "exporter",
+        [
+          Alcotest.test_case "prometheus text golden" `Quick
+            test_prometheus_golden;
+          Alcotest.test_case "listen address parsing" `Quick
+            test_listen_of_string;
+          Alcotest.test_case "HTTP round trip over a unix socket" `Quick
+            test_exporter_round_trip;
+          Alcotest.test_case "periodic flusher" `Quick test_flusher_periodic;
+        ] );
+      ( "engine status",
+        [
+          Alcotest.test_case "status_json golden" `Quick
+            test_status_json_golden;
+          Alcotest.test_case "status tracks the engine" `Quick
+            test_engine_status;
         ] );
     ]
