@@ -124,14 +124,14 @@ let paper_incidence =
            Array.of_list !cols)
      in
      let sp = Sparse.of_incidence ~rows:nrows ~cols:nvars idxs in
-     (sp, Sparse.to_matrix sp))
+     (sp, Sparse.to_matrix sp, idxs))
 
 (* The guarantee the routing relies on, checked on the bench workload
    every run (CI greps for the OK line): the sparse elimination must be
    bit-identical to the dense one — same rank, same pivot columns, every
    entry of the reduced matrix equal. *)
 let check_sparse_parity () =
-  let _, dense = Lazy.force paper_incidence in
+  let _, dense, _ = Lazy.force paper_incidence in
   let d = Gauss.rref_dense dense in
   let s = Gauss.rref_sparse dense in
   let entries_equal =
@@ -197,6 +197,57 @@ let check_sim_parity () =
   Pool.set_default_jobs saved;
   if a = b then Format.fprintf ppf "sim -j1 == -j4 bit-equality: OK@."
   else failwith "sim -j1 == -j4 bit-equality: FAILED"
+
+(* The guarantee the witness prefilter relies on, checked on the bench
+   workload every run (CI greps for the OK line): a selection with the
+   prefilter enabled must be bit-identical to one with it disabled —
+   same rows (paths and variables), same registry size, every entry of
+   the null-space basis equal.  The prefilter only short-circuits
+   dependent rows; a witness hit on an independent row would change the
+   selection and trip this gate. *)
+let check_witness_parity () =
+  let w = Lazy.force fixture in
+  let model = w.W.model and obs = w.W.obs in
+  let base = Tomo.Algorithm1.select model obs in
+  let off =
+    Tomo.Algorithm1.select
+      ~config:
+        { Tomo.Algorithm1.default_config with Tomo.Algorithm1.witness_k = Some 0 }
+      model obs
+  in
+  let open Tomo.Algorithm1 in
+  let rows_equal =
+    Array.length base.rows = Array.length off.rows
+    && Array.for_all2
+         (fun (a : Tomo.Eqn.row) (b : Tomo.Eqn.row) ->
+           a.Tomo.Eqn.paths = b.Tomo.Eqn.paths
+           && a.Tomo.Eqn.vars = b.Tomo.Eqn.vars)
+         base.rows off.rows
+  in
+  let ns_equal =
+    let a = base.nullspace and b = off.nullspace in
+    let ok = ref (Matrix.rows a = Matrix.rows b && Matrix.cols a = Matrix.cols b) in
+    if !ok then
+      for i = 0 to Matrix.rows a - 1 do
+        for j = 0 to Matrix.cols a - 1 do
+          if Matrix.get a i j <> Matrix.get b i j then ok := false
+        done
+      done;
+    !ok
+  in
+  let vars_equal =
+    Tomo.Eqn.n_vars base.registry = Tomo.Eqn.n_vars off.registry
+  in
+  if rows_equal && ns_equal && vars_equal then
+    Format.fprintf ppf "witness prefilter parity: OK@."
+  else
+    failwith
+      (Printf.sprintf
+         "witness prefilter parity: FAILED (rows %s, nullspace %s, registry \
+          %s)"
+         (if rows_equal then "equal" else "diverged")
+         (if ns_equal then "equal" else "diverged")
+         (if vars_equal then "equal" else "diverged"))
 
 (* Wall-clock scaling of the simulation itself on the paper-scale cell
    (Brite default topology, 1000 intervals — the Fig. 4 setting): one
@@ -368,6 +419,18 @@ let bench_tests () =
   let new_row =
     Array.init 80 (fun _ -> if Rng.bool rng ~p:0.3 then 1.0 else 0.0)
   in
+  (* Fixed mixed batch for the Algorithm 2 row, built outside the timed
+     region: rows of [amatrix] (already in the row space, exercising the
+     reject path) interleaved with fresh random rows (the accept path).
+     The old single-row version timed one sub-µs rejection and fit
+     poorly (r² ≈ 0.09); folding a constant 16-row batch gives the OLS
+     a stable, representative unit of work. *)
+  let alg2_batch =
+    Array.init 16 (fun i ->
+        if i mod 2 = 0 then
+          Array.init 80 (fun j -> Matrix.get amatrix (i * 3) j)
+        else Array.init 80 (fun _ -> if Rng.bool rng ~p:0.3 then 1.0 else 0.0))
+  in
   let stacked =
     Matrix.init 61 80 (fun i j ->
         if i < 60 then Matrix.get amatrix i j else new_row.(j))
@@ -414,7 +477,8 @@ let bench_tests () =
       Test.make ~name:"kernel/prob-engine-solve"
         (Staged.stage (fun () -> Tomo.Prob_engine.solve selection obs));
       Test.make ~name:"kernel/nullspace-update-alg2"
-        (Staged.stage (fun () -> Nullspace.update nsp new_row));
+        (Staged.stage (fun () ->
+             Array.fold_left (fun m r -> Nullspace.update m r) nsp alg2_batch));
       Test.make ~name:"kernel/nullspace-tracker-add"
         (Staged.stage (fun () ->
              (* clone + in-place add: the stateful analogue of [update] *)
@@ -426,9 +490,24 @@ let bench_tests () =
   in
   (* Sparse-vs-dense elimination on the paper-scale incidence fixture:
      the dense pair quantifies what the auto-routing buys. *)
-  let paper_sparse, paper_dense = Lazy.force paper_incidence in
+  let paper_sparse, paper_dense, paper_rows = Lazy.force paper_incidence in
+  (* The dependent-row tax, isolated: rejecting a row already in the
+     span, with the witness prefilter's O(k·nnz) short-circuit vs the
+     exact O(nnz·p) projection.  A row of the incidence system is in its
+     row space by construction, and a rejection never mutates the
+     tracker, so one tracker per variant is reused across timed calls. *)
+  let paper_basis = Nullspace.basis ~backend:`Sparse paper_dense in
+  let dep_row = paper_rows.(0) in
+  let tr_wit = Nullspace.tracker_of_matrix ~witness_k:2 paper_basis in
+  let tr_exact = Nullspace.tracker_of_matrix ~witness_k:0 paper_basis in
+  assert (not (Nullspace.add_incidence tr_wit dep_row));
+  assert (not (Nullspace.add_incidence tr_exact dep_row));
   let sparse_tests =
     [
+      Test.make ~name:"kernel/witness-reject-dependent"
+        (Staged.stage (fun () -> Nullspace.add_incidence tr_wit dep_row));
+      Test.make ~name:"kernel/exact-reject-dependent"
+        (Staged.stage (fun () -> Nullspace.add_incidence tr_exact dep_row));
       Test.make ~name:"kernel/sparse-rref"
         (Staged.stage (fun () -> Sparse_gauss.rref paper_sparse));
       Test.make ~name:"kernel/dense-rref-paper"
@@ -535,6 +614,16 @@ let write_bench_json ~rows ~sim ~snapshot =
         (json_escape (W.scale_to_string scale));
       Printf.bprintf b "  \"seed\": %d,\n" seed;
       Printf.bprintf b "  \"jobs\": %d,\n" (Tomo_par.Pool.default_jobs ());
+      (* Host fingerprint: timing rows only compare meaningfully between
+         runs on like hardware, and the -j4 sim speedup not at all when
+         the core counts differ — check_bench_regression.py keys off
+         [cpu_cores] to skip that comparison. *)
+      Printf.bprintf b
+        "  \"host\": {\"cpu_cores\": %d, \"ocaml_version\": \"%s\", \
+         \"word_size\": %d},\n"
+        (Domain.recommended_domain_count ())
+        (json_escape Sys.ocaml_version)
+        Sys.word_size;
       Buffer.add_string b "  \"benchmarks\": [";
       List.iteri
         (fun i (name, ns, r2) ->
@@ -585,6 +674,7 @@ let () =
   Tomo_obs.Metrics.set_enabled true;
   check_sparse_parity ();
   check_sim_parity ();
+  check_witness_parity ();
   if enabled "TOMO_BENCH_FIGURES" then reproduction_pass ();
   let pipeline_snapshot = Tomo_obs.Metrics.snapshot () in
   Tomo_obs.Metrics.set_enabled metrics_were_enabled;

@@ -2,6 +2,7 @@ module Bitset = Tomo_util.Bitset
 module Combin = Tomo_util.Combin
 module Matrix = Tomo_linalg.Matrix
 module Nullspace = Tomo_linalg.Nullspace
+module Sparse_gauss = Tomo_linalg.Sparse_gauss
 
 let src = Logs.Src.create "tomo.algorithm1" ~doc:"Path-set selection"
 
@@ -21,6 +22,7 @@ type config = {
   max_pathset_size : int;
   max_candidates_per_subset : int;
   tol : float;
+  witness_k : int option;
 }
 
 let default_config =
@@ -30,6 +32,7 @@ let default_config =
     max_pathset_size = 8;
     max_candidates_per_subset = 300;
     tol = 1e-8;
+    witness_k = None;
   }
 
 type selection = {
@@ -52,12 +55,12 @@ type cand_state = {
 (* [pool] is the variable's candidate-path pool, Paths(E) \ Paths(Ē) —
    already computed once by the seed phase and reused here instead of
    re-deriving it from the model. *)
-let materialize_candidates cfg model ~effective registry ~pool =
+let materialize_candidates cfg resolver ~pool =
   let acc = ref [] and n = ref 0 in
   let (_ : int) =
     Combin.iter_subsets_by_size pool ~max_size:cfg.max_pathset_size
       ~limit:cfg.max_candidates_per_subset (fun paths ->
-        (match Eqn.row model ~effective registry ~paths with
+        (match Eqn.row_fast resolver ~paths with
         | Some r ->
             acc := r :: !acc;
             incr n
@@ -94,11 +97,75 @@ let select ?(config = default_config) model obs =
     Obs.Metrics.set_gauge g_unknowns (float_of_int n);
     if Obs.Trace.enabled () then
       Obs.Trace.add_attr "unknowns" (string_of_int n);
-    (* The in-place tracker replaces the functional update: no
-       [nvars × (p-1)] reallocation per accepted row, and it maintains
-       the per-variable Hamming weight the grow loop sorts by. *)
-    let tracker = Nullspace.tracker ~tol:cfg.tol n in
+    Log.debug (fun m ->
+        m "starting selection over %d unknowns (%d target subsets enumerated)"
+          n (List.length targets));
+    (* Lines 1-5: seed with Paths(E) \ Paths(Ē) for every subset E.  The
+       pool is kept for the grow phase, which enumerates its subsets —
+       previously it was recomputed from the model per variable.
+
+       The seed system is not grown row by row: all seed rows are
+       collected first, the greedy in-order independent subset is found
+       by one forward elimination ({!Sparse_gauss.select_independent} —
+       the same accept/reject decisions an incremental rank test makes),
+       and the survivors are eliminated in a single sparse rref whose
+       null space becomes the tracker's starting basis.  The per-row
+       O(nvars · p) updates at maximal [p] — the most expensive phase of
+       the old loop — collapse into one batched elimination. *)
+    let seed_pools = Array.make n [||] in
     let rows = ref [] in
+    (* Registry frozen from here on ([Eqn.row] only looks up), so the
+       fast resolver is valid for the seed rows and every candidate. *)
+    let resolver = Eqn.resolver model ~effective registry in
+    let tracker =
+      Obs.Trace.with_span "algorithm1.seed" (fun () ->
+          let seed_rows = ref [] and n_seed = ref 0 in
+          for v = 0 to n - 1 do
+            let s = Eqn.subset_of_var registry v in
+            let pool = Subsets.candidate_paths model ~effective s in
+            if not (Bitset.is_empty pool) then begin
+              let paths = Array.of_list (Bitset.to_list pool) in
+              seed_pools.(v) <- paths;
+              match Eqn.row_fast resolver ~paths with
+              | Some row ->
+                  seed_rows := row :: !seed_rows;
+                  incr n_seed
+              | None -> ()
+            end
+          done;
+          let seed_rows = Array.of_list (List.rev !seed_rows) in
+          let keep =
+            Sparse_gauss.select_independent ~tol:cfg.tol ~cols:n
+              (Array.map (fun r -> r.Eqn.vars) seed_rows)
+          in
+          let kept = ref [] and n_kept = ref 0 in
+          Array.iteri
+            (fun i row ->
+              if keep.(i) then begin
+                kept := row :: !kept;
+                incr n_kept;
+                Obs.Metrics.incr c_equations
+              end
+              else Obs.Metrics.incr c_rows_rejected)
+            seed_rows;
+          rows := !kept;
+          let kept_vars =
+            let a = Array.make !n_kept [||] in
+            let i = ref (!n_kept - 1) in
+            List.iter
+              (fun r ->
+                a.(!i) <- r.Eqn.vars;
+                decr i)
+              !kept;
+            a
+          in
+          let basis =
+            Nullspace.basis_of_incidence ~tol:cfg.tol ~rows:!n_kept ~cols:n
+              kept_vars
+          in
+          Nullspace.tracker_of_matrix ~tol:cfg.tol ?witness_k:cfg.witness_k
+            basis)
+    in
     let try_add row =
       if Nullspace.add_incidence tracker row.Eqn.vars then begin
         rows := row :: !rows;
@@ -110,25 +177,6 @@ let select ?(config = default_config) model obs =
         false
       end
     in
-    Log.debug (fun m ->
-        m "starting selection over %d unknowns (%d target subsets enumerated)"
-          n (List.length targets));
-    (* Lines 1-5: seed with Paths(E) \ Paths(Ē) for every subset E.  The
-       pool is kept for the grow phase, which enumerates its subsets —
-       previously it was recomputed from the model per variable. *)
-    let seed_pools = Array.make n [||] in
-    Obs.Trace.with_span "algorithm1.seed" (fun () ->
-        for v = 0 to n - 1 do
-          let s = Eqn.subset_of_var registry v in
-          let pool = Subsets.candidate_paths model ~effective s in
-          if not (Bitset.is_empty pool) then begin
-            let paths = Array.of_list (Bitset.to_list pool) in
-            seed_pools.(v) <- paths;
-            match Eqn.row model ~effective registry ~paths with
-            | Some row -> ignore (try_add row)
-            | None -> ()
-          end
-        done);
     (* Lines 8-22: grow the system guided by the null space. *)
     let states =
       Array.init n (fun _ -> { cands = None; cursor = 0 })
@@ -138,10 +186,7 @@ let select ?(config = default_config) model obs =
       match st.cands with
       | Some c -> c
       | None ->
-          let c =
-            materialize_candidates cfg model ~effective registry
-              ~pool:seed_pools.(v)
-          in
+          let c = materialize_candidates cfg resolver ~pool:seed_pools.(v) in
           st.cands <- Some c;
           c
     in

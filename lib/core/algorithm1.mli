@@ -9,7 +9,9 @@
       complexity-control knob of §4 — plus every subset a single-path
       equation induces);
     + seed [P̂] with one path set per subset [E]:
-      [Paths(E) \ Paths(Ē)] (lines 1–5);
+      [Paths(E) \ Paths(Ē)] (lines 1–5) — the greedy independent subset
+      of the seed rows is found by one forward elimination and its null
+      space by one batched sparse rref, not row-by-row updates;
     + maintain a null-space basis [N] of the selected system and
       repeatedly add a path set whose row reduces the null space, trying
       subsets in decreasing Hamming weight of their [N]-row and, within a
@@ -36,6 +38,12 @@ type config = {
   max_candidates_per_subset : int;
       (** candidate path sets enumerated per subset (default 300) *)
   tol : float;  (** numerical tolerance for rank decisions *)
+  witness_k : int option;
+      (** witness vectors for the independence prefilter ([None] =
+          {!Tomo_linalg.Nullspace.default_witness_k}, i.e. the
+          [TOMO_WITNESS_K] default; [Some 0] forces the exact path).
+          Selections are bit-identical whatever the value — the
+          prefilter only short-circuits dependent rows. *)
 }
 
 val default_config : config

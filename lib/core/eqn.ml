@@ -78,6 +78,159 @@ let build_row model ~effective reg ~paths ~lookup =
 let row model ~effective reg ~paths =
   build_row model ~effective reg ~paths ~lookup:find
 
+(* A resolver is a frozen-registry fast path for [row].  [row] pays, per
+   candidate path set, a [Bitset] union over all links, a hash table
+   keyed by {!Subsets.key} *strings* (built with [Printf.sprintf] per
+   lookup), and one {!Subsets.make} validation per induced subset.
+   Algorithm 1 materializes tens of thousands of candidate rows per
+   selection against a registry that no longer grows, so those per-row
+   allocations dominate the whole selection once the linear algebra is
+   out of the way.  The resolver hoists them: effective links are
+   pre-filtered per path, subsets resolve through a hash table keyed by
+   their sorted link arrays (structural hashing, no strings), and the
+   union/grouping scratch is reused across calls with a generation
+   stamp.  The produced rows are identical to [row]'s — same
+   [Some]/[None] decisions, same sorted [vars] — because both compute
+   the same set of induced subsets [Links(P) ∩ C]. *)
+type resolver = {
+  rz_fallback : (paths:int array -> row option) option;
+      (* engaged when some correlation set is too large for the mask
+         encoding; [row_fast] then just delegates to [build_row] *)
+  rz_by_mask : (int, int) Hashtbl.t array;
+      (* per correlation set: within-set link mask -> variable *)
+  rz_path_eff : int array array;  (* per path: its effective links *)
+  rz_corr_of_link : int array;
+  rz_pos_of_link : int array;  (* bit position within its correlation set *)
+  rz_link_stamp : int array;  (* per link: generation of last visit *)
+  rz_corr_stamp : int array;  (* per correlation set: generation *)
+  rz_corr_mask : int array;  (* accumulated subset mask per set *)
+  rz_corr_order : int array;  (* correlation sets in first-seen order *)
+  mutable rz_gen : int;
+}
+
+let resolver model ~effective reg =
+  let n_links = model.Model.n_links in
+  let n_corr = Model.n_corr_sets model in
+  (* A subset within correlation set [c] is keyed by the bitmask of its
+     links' positions in [corr_sets.(c)] — order-independent, so it can
+     be accumulated during the union scan with no sorting or per-group
+     allocation.  Needs every correlation set to fit one word. *)
+  let too_wide = ref false in
+  let pos_of_link = Array.make n_links 0 in
+  for c = 0 to n_corr - 1 do
+    let links = Model.corr_set_links model c in
+    if Array.length links > Sys.int_size - 2 then too_wide := true
+    else Array.iteri (fun i e -> pos_of_link.(e) <- i) links
+  done;
+  let fallback =
+    if !too_wide then
+      Some (fun ~paths -> build_row model ~effective reg ~paths ~lookup:find)
+    else None
+  in
+  let by_mask = Array.init n_corr (fun _ -> Hashtbl.create 16) in
+  if not !too_wide then
+    for v = 0 to reg.count - 1 do
+      match reg.subsets.(v) with
+      | Some s ->
+          let mask =
+            Array.fold_left
+              (fun m e -> m lor (1 lsl pos_of_link.(e)))
+              0 s.Subsets.links
+          in
+          Hashtbl.replace by_mask.(s.Subsets.corr) mask v
+      | None -> ()
+    done;
+  let path_eff =
+    Array.init model.Model.n_paths (fun p ->
+        let acc = ref [] and n = ref 0 in
+        Bitset.iter
+          (fun e ->
+            if Bitset.get effective e then begin
+              acc := e :: !acc;
+              incr n
+            end)
+          model.Model.path_links.(p);
+        let a = Array.make !n 0 in
+        let i = ref (!n - 1) in
+        List.iter
+          (fun e ->
+            a.(!i) <- e;
+            decr i)
+          !acc;
+        a)
+  in
+  {
+    rz_fallback = fallback;
+    rz_by_mask = by_mask;
+    rz_path_eff = path_eff;
+    rz_corr_of_link = model.Model.corr_of_link;
+    rz_pos_of_link = pos_of_link;
+    rz_link_stamp = Array.make n_links 0;
+    rz_corr_stamp = Array.make n_corr 0;
+    rz_corr_mask = Array.make n_corr 0;
+    rz_corr_order = Array.make n_corr 0;
+    rz_gen = 0;
+  }
+
+let row_fast rz ~paths =
+  match rz.rz_fallback with
+  | Some f -> f ~paths
+  | None ->
+      let gen = rz.rz_gen + 1 in
+      rz.rz_gen <- gen;
+      (* One scan: dedup the paths' effective links by stamp and fold
+         each straight into its correlation set's subset mask. *)
+      let stamp = rz.rz_link_stamp in
+      let corr_of = rz.rz_corr_of_link and pos_of = rz.rz_pos_of_link in
+      let n_groups = ref 0 in
+      Array.iter
+        (fun p ->
+          let ls = rz.rz_path_eff.(p) in
+          for i = 0 to Array.length ls - 1 do
+            let e = Array.unsafe_get ls i in
+            if Array.unsafe_get stamp e <> gen then begin
+              Array.unsafe_set stamp e gen;
+              let c = Array.unsafe_get corr_of e in
+              if rz.rz_corr_stamp.(c) <> gen then begin
+                rz.rz_corr_stamp.(c) <- gen;
+                rz.rz_corr_mask.(c) <- 0;
+                rz.rz_corr_order.(!n_groups) <- c;
+                incr n_groups
+              end;
+              rz.rz_corr_mask.(c) <-
+                rz.rz_corr_mask.(c) lor (1 lsl Array.unsafe_get pos_of e)
+            end
+          done)
+        paths;
+      let n_groups = !n_groups in
+      if n_groups = 0 then None
+      else begin
+        let vars = Array.make n_groups 0 in
+        let ok = ref true in
+        let g = ref 0 in
+        while !ok && !g < n_groups do
+          let c = rz.rz_corr_order.(!g) in
+          (match Hashtbl.find_opt rz.rz_by_mask.(c) rz.rz_corr_mask.(c) with
+          | Some v -> vars.(!g) <- v
+          | None -> ok := false);
+          incr g
+        done;
+        if not !ok then None
+        else begin
+          (* Insertion sort: a row touches a handful of subsets. *)
+          for i = 1 to n_groups - 1 do
+            let x = vars.(i) in
+            let j = ref (i - 1) in
+            while !j >= 0 && vars.(!j) > x do
+              vars.(!j + 1) <- vars.(!j);
+              decr j
+            done;
+            vars.(!j + 1) <- x
+          done;
+          Some { paths; vars }
+        end
+      end
+
 let row_grow model ~effective reg ~paths =
   build_row model ~effective reg ~paths ~lookup:(fun reg s ->
       Some (add reg s))

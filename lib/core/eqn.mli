@@ -46,6 +46,20 @@ val row :
   Model.t -> effective:Tomo_util.Bitset.t -> registry -> paths:int array ->
   row option
 
+(** A frozen-registry fast path for {!row}: pre-filters each path's
+    effective links, resolves induced subsets through a hash table keyed
+    by their sorted link arrays (no string keys), and reuses scratch
+    buffers across calls.  Build it once the registry stops growing. *)
+type resolver
+
+val resolver :
+  Model.t -> effective:Tomo_util.Bitset.t -> registry -> resolver
+
+(** [row_fast rz ~paths] returns exactly what {!row} would — the same
+    [Some]/[None] decision and the same sorted [vars] — at a fraction of
+    the per-call cost.  Must not be used after the registry grows. *)
+val row_fast : resolver -> paths:int array -> row option
+
 (** [row_grow] is [row] but registers missing induced subsets instead of
     failing; only returns [None] when the path set touches no effective
     link. *)

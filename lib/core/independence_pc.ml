@@ -46,14 +46,12 @@ let compute ?(config = default_config) model obs =
        sparse layer (bit-identical to the index-list CGLS). *)
     let a = Sparse.of_incidence ~rows:(Array.length rows) ~cols:n_vars rows in
     let z = Cgls.solve_sparse ~a ~b () in
-    (* Identifiability via the incidence null space of the system. *)
+    (* Identifiability via the incidence null space of the system; the
+       tracker's witness prefilter makes the redundant rows O(nnz). *)
     let nullspace =
-      Array.fold_left
-        (fun n row ->
-          match Nullspace.update_incidence n row with
-          | Some n' -> n'
-          | None -> n)
-        (Matrix.identity n_vars) rows
+      let tr = Nullspace.tracker n_vars in
+      Array.iter (fun row -> ignore (Nullspace.add_incidence tr row)) rows;
+      Nullspace.to_matrix tr
     in
     for e = 0 to n_links - 1 do
       let v = var_of_link.(e) in

@@ -1,6 +1,7 @@
 let default_tol = 1e-8
 
 module Obs = Tomo_obs
+module Rng = Tomo_util.Rng
 
 (* Algorithm 2 observability: how often the null space advances by the
    paper's incremental update vs. a from-scratch recomputation, and how
@@ -8,6 +9,14 @@ module Obs = Tomo_obs
 let c_recomputes = Obs.Metrics.counter "nullspace_recomputes"
 let c_incremental = Obs.Metrics.counter "nullspace_incremental_updates"
 let c_rejections = Obs.Metrics.counter "nullspace_dependent_rejections"
+
+(* Witness-prefilter observability: how many candidate rows the random
+   projections rejected without touching the basis, how many fell
+   through to the exact test, and how much work each witness dot cost
+   (the number of summed entries). *)
+let c_wit_rejections = Obs.Metrics.counter "alg1_witness_rejections"
+let c_wit_passes = Obs.Metrics.counter "alg1_witness_passes"
+let h_wit_nnz = Obs.Metrics.histogram "witness_dot_nnz"
 
 (* Basis extraction from a reduced row-echelon form, abstracted over how
    the reduced matrix is read — the dense path reads a [Matrix.t], the
@@ -185,6 +194,18 @@ let update_incidence ?(tol = default_tol) n idxs =
     | Some j -> Some (eliminate_matrix n v j)
   end
 
+let basis_of_incidence ?tol ~rows ~cols idxs =
+  Obs.Metrics.incr c_recomputes;
+  if cols = 0 then Matrix.make 0 0 0.0
+  else if rows = 0 then Matrix.identity cols
+  else
+    let sp = Sparse.of_incidence ~rows ~cols idxs in
+    let { Sparse_gauss.reduced; pivot_cols; rank } =
+      Sparse_gauss.rref ?tol sp
+    in
+    extract_basis ~n:cols ~rank ~pivot_cols ~get:(fun piv fc ->
+        Sparse.get reduced piv fc)
+
 let update ?(tol = default_tol) n r =
   let nvars = Matrix.rows n and p = Matrix.cols n in
   if Array.length r <> nvars then invalid_arg "Nullspace.update: bad row";
@@ -207,32 +228,114 @@ let update ?(tol = default_tol) n r =
    row costs one pass over the touched columns and zero allocation, and
    a per-variable non-zero count (the Hamming weight Algorithm 1 sorts
    by) is maintained incrementally during the same pass. *)
+(* ---- Witness prefilter ----
+
+   A candidate row [r] is dependent iff [r · N = 0].  Testing that
+   exactly costs O(nnz(r) · p); with ~98% of candidates dependent, that
+   projection is where Algorithm 1 and the correlation pipelines spend
+   their time.  The tracker therefore keeps [k] witness vectors
+   [u_c = N · g_c] for random coefficient vectors [g_c]: since
+   [r · u_c = (r · N) · g_c], a dependent row has every witness dot at
+   rounding-noise scale, and the dot is a plain sum of [nnz(r)] floats.
+   If all [k] dots are within the witness tolerance the row is rejected
+   in O(k · nnz(r)); if any fires, the exact test runs — so a dependent
+   row can never be falsely *accepted*, and an independent row is
+   falsely rejected only if all [k] random projections of a vector with
+   an above-tolerance entry cancel below [wtol ≪ tol] simultaneously.
+   Eliminations apply the same projection to each witness as to every
+   basis column ([u' = u − (r·u / pivot) · n_j]), so the invariant
+   [u_c = N · g_c] is maintained in place at O(nnz(pivot column)) per
+   accepted row. *)
+
+let env_witness_k () =
+  match Sys.getenv_opt "TOMO_WITNESS_K" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v when v >= 0 -> min v 16
+      | _ -> 2)
+  | None -> 2
+
+let default_k = ref (env_witness_k ())
+let default_witness_k () = !default_k
+let set_default_witness_k k = default_k := min (max 0 k) 16
+
+(* Witness coefficients are drawn from seeded streams keyed only by the
+   tracker dimension and witness index, so a tracker's behaviour never
+   depends on how many trackers the process created before it (streaming
+   and batch runs build different numbers of trackers and must still
+   make bit-identical decisions). *)
+let witness_base_seed = 0x5749544e (* "WITN" *)
+
+let draw_witness_g ~dim ~columns c =
+  let rng = Rng.split_int (Rng.split_int (Rng.create witness_base_seed) dim) c in
+  let g = Array.make (max 1 columns) 0.0 in
+  for k = 0 to columns - 1 do
+    let m = Rng.uniform rng ~lo:0.5 ~hi:1.5 in
+    g.(k) <- (if Rng.bool rng ~p:0.5 then m else -.m)
+  done;
+  g
+
 type tracker = {
   nvars : int;
   tol : float;
+  wtol : float; (* witness-dot rejection threshold, ≪ tol *)
   mutable p : int;
   cols : float array array; (* cols.(0..p-1), each of length nvars *)
   v : float array; (* scratch for r · N, length nvars *)
   weights : int array; (* weights.(i) = #{k | |cols.(k).(i)| > tol} *)
   idx : int array; (* scratch: nonzero rows of the pivot column *)
+  wit_u : float array array; (* wit_u.(c) = N · wit_g.(c), length nvars *)
+  wit_g : float array array; (* coefficients, first [p] entries live *)
+  wit_dot : float array; (* scratch: r · u_c for the row under test *)
 }
 
-let tracker ?(tol = default_tol) nvars =
-  if nvars < 0 then invalid_arg "Nullspace.tracker: negative dimension";
+let default_witness_tol_factor = 1e-4
+
+let make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~cols ~weights =
+  let k = match witness_k with Some k -> min (max 0 k) 16 | None -> !default_k in
+  let wtol =
+    match witness_tol with Some w -> w | None -> tol *. default_witness_tol_factor
+  in
+  let wit_g = Array.init k (fun c -> draw_witness_g ~dim:nvars ~columns:p c) in
+  let wit_u =
+    Array.init k (fun c ->
+        let g = wit_g.(c) in
+        let u = Array.make (max 1 nvars) 0.0 in
+        for i = 0 to nvars - 1 do
+          let acc = ref 0.0 in
+          for kk = 0 to p - 1 do
+            acc := !acc +. (g.(kk) *. cols.(kk).(i))
+          done;
+          u.(i) <- !acc
+        done;
+        u)
+  in
   {
     nvars;
     tol;
-    p = nvars;
-    cols = Array.init nvars (fun k ->
-        let c = Array.make nvars 0.0 in
-        c.(k) <- 1.0;
-        c);
-    v = Array.make nvars 0.0;
-    weights = Array.make nvars (if 1.0 > tol then 1 else 0);
+    wtol;
+    p;
+    cols;
+    v = Array.make (max 1 (max p nvars)) 0.0;
+    weights;
     idx = Array.make (max 1 nvars) 0;
+    wit_u;
+    wit_g;
+    wit_dot = Array.make (max 1 k) 0.0;
   }
 
-let tracker_of_matrix ?(tol = default_tol) m =
+let tracker ?(tol = default_tol) ?witness_k ?witness_tol nvars =
+  if nvars < 0 then invalid_arg "Nullspace.tracker: negative dimension";
+  let cols =
+    Array.init nvars (fun k ->
+        let c = Array.make nvars 0.0 in
+        c.(k) <- 1.0;
+        c)
+  in
+  let weights = Array.make nvars (if 1.0 > tol then 1 else 0) in
+  make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p:nvars ~cols ~weights
+
+let tracker_of_matrix ?(tol = default_tol) ?witness_k ?witness_tol m =
   let nvars = Matrix.rows m and p = Matrix.cols m in
   let cols = Array.init p (fun k -> Array.init nvars (fun i -> Matrix.get m i k)) in
   let weights = Array.make nvars 0 in
@@ -243,8 +346,27 @@ let tracker_of_matrix ?(tol = default_tol) m =
     done;
     weights.(i) <- !w
   done;
-  { nvars; tol; p; cols; v = Array.make (max 1 p) 0.0; weights;
-    idx = Array.make (max 1 nvars) 0 }
+  make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~cols ~weights
+
+let witness_count t = Array.length t.wit_u
+
+(* Worst absolute deviation of any maintained witness from a from-
+   scratch recomputation [N · g_c] — the drift the in-place updates
+   accumulate.  O(k · nvars · p); testing / diagnostics only. *)
+let witness_defect t =
+  let worst = ref 0.0 in
+  for c = 0 to Array.length t.wit_u - 1 do
+    let u = t.wit_u.(c) and g = t.wit_g.(c) in
+    for i = 0 to t.nvars - 1 do
+      let acc = ref 0.0 in
+      for k = 0 to t.p - 1 do
+        acc := !acc +. (g.(k) *. t.cols.(k).(i))
+      done;
+      let d = abs_float (!acc -. u.(i)) in
+      if d > !worst then worst := d
+    done
+  done;
+  !worst
 
 let dim t = t.p
 let row_weight t i = t.weights.(i)
@@ -272,6 +394,27 @@ let eliminate_in_place t j =
     if abs_float x > tol then t.weights.(i) <- t.weights.(i) - 1
   done;
   let nnz = !nnz in
+  (* Witnesses ride the same pivot-column pass: [u − (r·u / pivot) · n_j]
+     is exactly the projection applied to every remaining column, so the
+     invariant [u_c = N' · g_c] survives the elimination.  [wit_dot]
+     holds [r · u_c] from the prefilter that ran on this row. *)
+  for c = 0 to Array.length t.wit_u - 1 do
+    let coeff = Array.unsafe_get t.wit_dot c /. pivot in
+    if coeff <> 0.0 then begin
+      let u = t.wit_u.(c) in
+      for m = 0 to nnz - 1 do
+        let i = Array.unsafe_get idx m in
+        Array.unsafe_set u i
+          (Array.unsafe_get u i -. (coeff *. Array.unsafe_get nj i))
+      done
+    end;
+    (* Drop the consumed coefficient, keeping [wit_g] parallel to
+       [cols]. *)
+    let g = t.wit_g.(c) in
+    for k = j to p - 2 do
+      g.(k) <- g.(k + 1)
+    done
+  done;
   let sparse = 2 * nnz < nvars in
   for k = 0 to p - 1 do
     if k <> j then begin
@@ -313,6 +456,38 @@ let eliminate_in_place t j =
   t.cols.(p - 1) <- nj;
   t.p <- p - 1
 
+(* The O(k · nnz) fast path: every witness dot within [wtol] ⇒ reject
+   without touching the basis.  [dot r u_c] is supplied by the caller
+   (an incidence row sums [nnz] entries of [u_c]; a dense row is a full
+   dot product).  Fills [t.wit_dot] for {!eliminate_in_place}. *)
+let witness_rejects t ~nnz dot =
+  let k = Array.length t.wit_u in
+  if k = 0 then false
+  else begin
+    if Obs.Metrics.enabled () then
+      Obs.Metrics.observe h_wit_nnz (float_of_int nnz);
+    let all_small = ref true in
+    for c = 0 to k - 1 do
+      let d = dot t.wit_u.(c) in
+      t.wit_dot.(c) <- d;
+      if abs_float d > t.wtol then all_small := false
+    done;
+    if !all_small then begin
+      Obs.Metrics.incr c_wit_rejections;
+      Obs.Metrics.incr c_rejections;
+      true
+    end
+    else begin
+      Obs.Metrics.incr c_wit_passes;
+      false
+    end
+  end
+
+let incidence_dot idxs u =
+  let acc = ref 0.0 in
+  Array.iter (fun i -> acc := !acc +. Array.unsafe_get u i) idxs;
+  !acc
+
 let add_incidence t idxs =
   Array.iter
     (fun i ->
@@ -321,6 +496,8 @@ let add_incidence t idxs =
     idxs;
   let p = t.p in
   if p = 0 then false
+  else if witness_rejects t ~nnz:(Array.length idxs) (incidence_dot idxs) then
+    false
   else begin
     let v = t.v in
     Array.fill v 0 p 0.0;
@@ -337,10 +514,18 @@ let add_incidence t idxs =
         true
   end
 
+let dense_dot ~n r u =
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (Array.unsafe_get r i *. Array.unsafe_get u i)
+  done;
+  !acc
+
 let add_row t r =
   if Array.length r <> t.nvars then invalid_arg "Nullspace.add_row: bad row";
   let p = t.p in
   if p = 0 then false
+  else if witness_rejects t ~nnz:t.nvars (dense_dot ~n:t.nvars r) then false
   else begin
     let v = t.v in
     for k = 0 to p - 1 do

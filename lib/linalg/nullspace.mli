@@ -56,6 +56,15 @@ val update : ?tol:float -> Matrix.t -> float array -> Matrix.t
 val update_incidence :
   ?tol:float -> Matrix.t -> int array -> Matrix.t option
 
+(** [basis_of_incidence ?tol ~rows ~cols idxs] is the null-space basis
+    of the 0/1 incidence system with [rows] rows over [cols] variables
+    ([idxs.(i)] lists row [i]'s columns), eliminated in one
+    {!Sparse_gauss.rref} pass instead of row-by-row updates — the
+    batched seed-phase path of Algorithm 1.  [rows = 0] yields the
+    identity basis. *)
+val basis_of_incidence :
+  ?tol:float -> rows:int -> cols:int -> int array array -> Matrix.t
+
 (** {1 In-place tracker}
 
     The functional updates above allocate an [nvars × (p-1)] matrix per
@@ -71,13 +80,55 @@ val update_incidence :
 
 type tracker
 
-(** [tracker ?tol n] starts from the identity basis: the null space of
-    the empty system over [n] variables. *)
-val tracker : ?tol:float -> int -> tracker
+(** {2 Witness prefilter}
 
-(** [tracker_of_matrix ?tol m] adopts the columns of [m] ([nvars × p])
-    as the starting basis. *)
-val tracker_of_matrix : ?tol:float -> Matrix.t -> tracker
+    A candidate row [r] is dependent iff [r · N = 0]; testing that
+    exactly costs [O(nnz(r) · p)].  The tracker additionally maintains
+    [k] witness vectors [u_c = N · g_c] for seeded random coefficient
+    vectors [g_c]: because [r · u_c = (r · N) · g_c], a dependent row
+    has every witness dot at rounding-noise scale, and each dot is a
+    plain sum of [nnz(r)] floats.  When all [k] dots are within the
+    witness tolerance ([tol · 1e-4] by default, well below the noise a
+    truly independent row produces), the row is rejected in
+    [O(k · nnz(r))] without touching the basis; when any witness fires,
+    the exact projection runs unchanged.  A dependent row therefore can
+    never be falsely accepted — every acceptance is vetted by the exact
+    test — and the accepted eliminations are bit-identical with the
+    prefilter on or off, so a tracker at [witness_k = 0] and one at the
+    default produce the same selections bit for bit (enforced by the
+    qcheck parity battery and the bench startup gate).
+
+    [k] defaults to [TOMO_WITNESS_K] (2 when unset; 0 disables the
+    prefilter).  The witness coefficients are derived from seeded
+    {!Tomo_util.Rng.split_int} streams keyed by the tracker dimension
+    and witness index only, so decisions never depend on how many
+    trackers the process created before. *)
+
+(** Process default for [k], initialized from [TOMO_WITNESS_K]. *)
+val default_witness_k : unit -> int
+
+val set_default_witness_k : int -> unit
+
+(** [tracker ?tol ?witness_k ?witness_tol n] starts from the identity
+    basis: the null space of the empty system over [n] variables.
+    [witness_k] overrides {!default_witness_k}; [witness_tol] overrides
+    the witness-dot rejection threshold ([tol · 1e-4]). *)
+val tracker : ?tol:float -> ?witness_k:int -> ?witness_tol:float -> int -> tracker
+
+(** [tracker_of_matrix ?tol ?witness_k ?witness_tol m] adopts the
+    columns of [m] ([nvars × p]) as the starting basis and initializes
+    the witnesses to [m · g_c]. *)
+val tracker_of_matrix :
+  ?tol:float -> ?witness_k:int -> ?witness_tol:float -> Matrix.t -> tracker
+
+(** Number of witness vectors this tracker maintains. *)
+val witness_count : tracker -> int
+
+(** [witness_defect t] is the largest absolute deviation of any
+    maintained witness entry from a from-scratch recomputation
+    [N · g_c] — the floating-point drift of the in-place updates.
+    [O(k · nvars · p)]; intended for tests and diagnostics. *)
+val witness_defect : tracker -> float
 
 (** Current nullity [p]. *)
 val dim : tracker -> int

@@ -29,3 +29,16 @@ val rref : ?tol:float -> Sparse.t -> rref
 
 (** [rank ?tol a] is the numerical rank. *)
 val rank : ?tol:float -> Sparse.t -> int
+
+(** [select_independent ?tol ~cols rows] marks the greedy in-order
+    linearly independent subset of the 0/1 incidence rows [rows]
+    (each an array of column indices over [cols] variables):
+    [keep.(i)] is true iff row [i] is independent of rows [0..i-1] —
+    exactly the rows an incremental rank test fed row by row would
+    accept, computed as a single forward elimination in row space
+    (no row pivoting, so the accepted set is order-determined).
+    [tol] (default [1e-8], matching {!Nullspace}'s) bounds the residual
+    entry magnitude treated as zero.  Used to batch Algorithm 1's
+    seed phase into one elimination. *)
+val select_independent :
+  ?tol:float -> cols:int -> int array array -> bool array

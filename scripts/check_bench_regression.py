@@ -17,9 +17,15 @@ THRESHOLD = 1.25  # >25% speed-normalized regression fails the job
 PREFIX = "tomo kernel/"
 
 
-def kernel_rows(path):
+SPEEDUP_FLOOR = 0.8  # -j4 sim speedup may not drop below 80% of baseline
+
+
+def load(path):
     with open(path) as f:
-        doc = json.load(f)
+        return json.load(f)
+
+
+def kernel_rows(doc):
     return {
         b["name"]: b["ns_per_call"]
         for b in doc["benchmarks"]
@@ -27,12 +33,49 @@ def kernel_rows(path):
     }
 
 
+def check_sim_speedup(base_doc, new_doc):
+    """Compare sim_run_paper.speedup_j4, but only on like hardware.
+
+    The -j4/-j1 ratio is a property of the core count, not of the code:
+    a 2-core runner cannot reproduce a 4-domain speedup measured on 8
+    cores.  Skip the comparison unless both files record a host
+    cpu_cores and they match (older baselines predate the host block).
+    """
+    base_sim = base_doc.get("sim_run_paper")
+    new_sim = new_doc.get("sim_run_paper")
+    if not base_sim or not new_sim:
+        print("sim speedup gate: skipped (sim_run_paper missing)")
+        return True
+    base_cores = (base_doc.get("host") or {}).get("cpu_cores")
+    new_cores = (new_doc.get("host") or {}).get("cpu_cores")
+    if base_cores is None or new_cores is None:
+        print("sim speedup gate: skipped (host cpu_cores not recorded)")
+        return True
+    if base_cores != new_cores:
+        print(
+            "sim speedup gate: skipped (cpu_cores differ: baseline %d, new %d)"
+            % (base_cores, new_cores)
+        )
+        return True
+    old, new = base_sim.get("speedup_j4"), new_sim.get("speedup_j4")
+    if not old or not new:
+        print("sim speedup gate: skipped (speedup_j4 missing)")
+        return True
+    ok = new >= old * SPEEDUP_FLOOR
+    print(
+        "sim speedup gate: speedup_j4 %.2fx vs baseline %.2fx (floor %.2fx)%s"
+        % (new, old, old * SPEEDUP_FLOOR, "" if ok else "  REGRESSED")
+    )
+    return ok
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__.strip())
         return 2
     base_path, new_path = sys.argv[1], sys.argv[2]
-    base, new = kernel_rows(base_path), kernel_rows(new_path)
+    base_doc, new_doc = load(base_path), load(new_path)
+    base, new = kernel_rows(base_doc), kernel_rows(new_doc)
     missing = sorted(set(base) - set(new))
     if missing:
         # a kernel row silently dropped from the bench dodges the gate
@@ -55,12 +98,17 @@ def main():
         print("%-50s%12.0f%12.0f%12.2f%s" % (name, base[name], new[name], norm, flag))
         if norm > THRESHOLD:
             failed.append(name)
-    if failed:
+    print()
+    sim_ok = check_sim_speedup(base_doc, new_doc)
+    if failed or not sim_ok:
         print()
-        print(
-            "%d kernel row(s) regressed >%d%% vs %s (speed-normalized)"
-            % (len(failed), round((THRESHOLD - 1) * 100), base_path)
-        )
+        if failed:
+            print(
+                "%d kernel row(s) regressed >%d%% vs %s (speed-normalized)"
+                % (len(failed), round((THRESHOLD - 1) * 100), base_path)
+            )
+        if not sim_ok:
+            print("sim_run_paper.speedup_j4 regressed vs %s" % base_path)
         return 1
     print()
     print(

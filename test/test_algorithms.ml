@@ -706,6 +706,48 @@ let prop_selection_rows_well_formed =
           !sorted)
         sel.Algorithm1.rows)
 
+(* The witness prefilter is a pure short-circuit: across random
+   topologies, a selection with it on must be bit-identical to one with
+   it forced off — same rows (paths and variables), same registry size,
+   same null-space basis entry for entry. *)
+let prop_selection_witness_parity =
+  QCheck.Test.make
+    ~name:"Algorithm 1: witness-on selection ≡ witness-off (bit-identical)"
+    ~count:40 (QCheck.int_range 0 10_000) (fun seed ->
+      let rng = Rng.create (seed + 70_000) in
+      let model = random_model rng in
+      let obs = random_obs rng model ~t:60 in
+      let base = Algorithm1.select model obs in
+      let off =
+        Algorithm1.select
+          ~config:
+            { Algorithm1.default_config with Algorithm1.witness_k = Some 0 }
+          model obs
+      in
+      let rows_equal =
+        Array.length base.Algorithm1.rows = Array.length off.Algorithm1.rows
+        && Array.for_all2
+             (fun (a : Eqn.row) (b : Eqn.row) ->
+               a.Eqn.paths = b.Eqn.paths && a.Eqn.vars = b.Eqn.vars)
+             base.Algorithm1.rows off.Algorithm1.rows
+      in
+      let ns_equal =
+        let a = base.Algorithm1.nullspace and b = off.Algorithm1.nullspace in
+        Matrix.rows a = Matrix.rows b
+        && Matrix.cols a = Matrix.cols b
+        &&
+        let ok = ref true in
+        for i = 0 to Matrix.rows a - 1 do
+          for j = 0 to Matrix.cols a - 1 do
+            if Matrix.get a i j <> Matrix.get b i j then ok := false
+          done
+        done;
+        !ok
+      in
+      rows_equal && ns_equal
+      && Eqn.n_vars base.Algorithm1.registry
+         = Eqn.n_vars off.Algorithm1.registry)
+
 let prop_selection_rank_consistent =
   QCheck.Test.make
     ~name:"Algorithm 1: rows + nullity = unknowns (independent selection)"
@@ -870,6 +912,7 @@ let () =
       ( "properties",
         [
           qc prop_selection_rows_well_formed;
+          qc prop_selection_witness_parity;
           qc prop_selection_rank_consistent;
           qc prop_sparsity_consistent;
           qc prop_bayesian_ind_consistent;

@@ -705,6 +705,162 @@ let test_gauss_tolerance_scaling () =
     (s.Sparse_gauss.pivot_cols = sbig.Sparse_gauss.pivot_cols);
   check_int "dense = sparse" d.Gauss.rank s.Sparse_gauss.rank
 
+(* ------------------------------------------------------------------ *)
+(* Witness prefilter: the O(nnz) rejection must be invisible            *)
+(* ------------------------------------------------------------------ *)
+
+module Sgauss = Tomo_linalg.Sparse_gauss
+
+let random_idxs rng n =
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if Rng.bool rng ~p:0.35 then acc := j :: !acc
+  done;
+  match !acc with [] -> [| Rng.int rng n |] | l -> Array.of_list l
+
+(* Bitwise tracker equality: same basis entries and same maintained
+   column weights. *)
+let trackers_agree a b =
+  let ma = Nullspace.to_matrix a and mb = Nullspace.to_matrix b in
+  matrices_exact ma mb
+  &&
+  let ok = ref true in
+  for v = 0 to Matrix.rows ma - 1 do
+    if Nullspace.row_weight a v <> Nullspace.row_weight b v then ok := false
+  done;
+  !ok
+
+let prop_witness_parity_incidence =
+  QCheck.Test.make
+    ~name:"witness tracker ≡ exact tracker on random incidence streams"
+    ~count:150
+    QCheck.(triple (int_range 1 14) (int_range 1 50) (int_range 0 10_000))
+    (fun (n, m, seed) ->
+      let rng = Rng.create (seed + 31_000) in
+      let wit = Nullspace.tracker ~witness_k:4 n in
+      let exact = Nullspace.tracker ~witness_k:0 n in
+      let ok =
+        ref
+          (Nullspace.witness_count wit = 4
+          && Nullspace.witness_count exact = 0)
+      in
+      for _ = 1 to m do
+        let idxs = random_idxs rng n in
+        if Nullspace.add_incidence wit idxs
+           <> Nullspace.add_incidence exact idxs
+        then ok := false
+      done;
+      !ok && trackers_agree wit exact)
+
+let prop_select_independent_matches_tracker =
+  QCheck.Test.make
+    ~name:"select_independent ≡ incremental tracker accept/reject"
+    ~count:150
+    QCheck.(triple (int_range 1 12) (int_range 1 40) (int_range 0 10_000))
+    (fun (n, m, seed) ->
+      let rng = Rng.create (seed + 37_000) in
+      let rows = Array.init m (fun _ -> random_idxs rng n) in
+      let keep = Sgauss.select_independent ~tol:1e-8 ~cols:n rows in
+      let tr = Nullspace.tracker ~witness_k:0 n in
+      let keep' = Array.map (Nullspace.add_incidence tr) rows in
+      keep = keep')
+
+(* Adversarial near-tolerance rows: a spanned row perturbed by
+   [±tol·(1±ε)] sits right at the exact test's accept boundary.  The
+   witness dot of such a row is [eps · u_c(i)] — tolerance-scale, far
+   above the witness threshold [tol·1e-4] — so the prefilter must hand
+   every one of them to the exact path and the two trackers must keep
+   making identical decisions. *)
+let test_witness_adversarial_near_tol () =
+  let n = 10 and tol = 1e-8 in
+  let rng = Rng.create 97 in
+  let wit = Nullspace.tracker ~tol ~witness_k:3 n in
+  let exact = Nullspace.tracker ~tol ~witness_k:0 n in
+  let accepted = ref [] in
+  for i = 0 to 5 do
+    let r =
+      Array.init n (fun j ->
+          if j = i then 1.0
+          else if Rng.bool rng ~p:0.3 then 1.0
+          else 0.0)
+    in
+    let a = Nullspace.add_row wit r in
+    let b = Nullspace.add_row exact r in
+    check_bool "seed decision parity" b a;
+    if a then accepted := r :: !accepted
+  done;
+  let spanned =
+    (* a combination of accepted rows: exactly dependent *)
+    let acc = Array.make n 0.0 in
+    List.iter
+      (fun r -> Array.iteri (fun j x -> acc.(j) <- acc.(j) +. x) r)
+      !accepted;
+    acc
+  in
+  List.iter
+    (fun eps_scale ->
+      for i = 0 to n - 1 do
+        let r = Array.copy spanned in
+        r.(i) <- r.(i) +. (tol *. eps_scale);
+        let a = Nullspace.add_row wit r in
+        let b = Nullspace.add_row exact r in
+        check_bool "near-tol decision parity" b a
+      done)
+    [ 1.001; 0.999; -1.001; -0.999 ];
+  check_bool "bases bitwise equal after adversarial stream" true
+    (trackers_agree wit exact)
+
+(* Degenerate pool: every row after the first is the same incidence row.
+   The witness must reject the whole tail in O(nnz) without ever
+   touching the basis, leaving both trackers bitwise equal. *)
+let test_witness_all_dependent_pool () =
+  let n = 8 in
+  let wit = Nullspace.tracker ~witness_k:2 n in
+  let exact = Nullspace.tracker ~witness_k:0 n in
+  let row = [| 0; 2; 5 |] in
+  check_bool "first accepted (witness)" true (Nullspace.add_incidence wit row);
+  check_bool "first accepted (exact)" true
+    (Nullspace.add_incidence exact row);
+  for _ = 1 to 100 do
+    check_bool "duplicate rejected (witness)" false
+      (Nullspace.add_incidence wit row);
+    check_bool "duplicate rejected (exact)" false
+      (Nullspace.add_incidence exact row)
+  done;
+  check_bool "bases bitwise equal" true (trackers_agree wit exact);
+  check_bool "witness invariant tight after rejects" true
+    (Nullspace.witness_defect wit < 1e-9)
+
+(* Long interleaving of accepts and rejects: the in-place witness
+   updates must keep [u_c = N·g_c] to rounding noise. *)
+let test_witness_defect_after_interleaving () =
+  let n = 30 in
+  let rng = Rng.create 211 in
+  let wit = Nullspace.tracker ~witness_k:4 n in
+  let exact = Nullspace.tracker ~witness_k:0 n in
+  for _ = 1 to 300 do
+    let idxs = random_idxs rng n in
+    check_bool "interleaved decision parity"
+      (Nullspace.add_incidence exact idxs)
+      (Nullspace.add_incidence wit idxs)
+  done;
+  check_bool "bases bitwise equal" true (trackers_agree wit exact);
+  check_bool "witness defect below 1e-6" true
+    (Nullspace.witness_defect wit < 1e-6)
+
+(* The TOMO_WITNESS_K default is a process-wide knob; trackers built
+   while it is 0 run the exact path. *)
+let test_witness_default_knob () =
+  let saved = Nullspace.default_witness_k () in
+  Fun.protect
+    ~finally:(fun () -> Nullspace.set_default_witness_k saved)
+    (fun () ->
+      Nullspace.set_default_witness_k 0;
+      check_int "k=0 disables" 0 (Nullspace.witness_count (Nullspace.tracker 5));
+      Nullspace.set_default_witness_k 3;
+      check_int "k=3 maintains 3 witnesses" 3
+        (Nullspace.witness_count (Nullspace.tracker 5)))
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "linalg"
@@ -797,5 +953,18 @@ let () =
           qc prop_sparse_rref_matches_dense_random;
           qc prop_sparse_nullspace_same_kernel;
           qc prop_cgls_sparse_bit_identical;
+        ] );
+      ( "witness",
+        [
+          qc prop_witness_parity_incidence;
+          qc prop_select_independent_matches_tracker;
+          Alcotest.test_case "adversarial near-tolerance rows" `Quick
+            test_witness_adversarial_near_tol;
+          Alcotest.test_case "degenerate all-dependent pool" `Quick
+            test_witness_all_dependent_pool;
+          Alcotest.test_case "defect after long interleaving" `Quick
+            test_witness_defect_after_interleaving;
+          Alcotest.test_case "default-k knob" `Quick
+            test_witness_default_knob;
         ] );
     ]
