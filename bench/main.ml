@@ -345,6 +345,108 @@ let obs_overhead_pass () =
   Format.fprintf ppf "@.";
   rows
 
+(* Network ingestion plane: the frame decoder alone (ns per decoded
+   frame, fed in socket-sized chunks), and end-to-end single-peer
+   ingest throughput over a real Unix socketpair into a Hub whose
+   window never fills (so the numbers isolate the transport + parse +
+   queue path, not the solver).  Hand-timed: both are wall-clock
+   passes over a fixed workload, not a Bechamel closure. *)
+let net_pass () =
+  Format.fprintf ppf
+    "==================================================================@.";
+  Format.fprintf ppf "Network ingestion (frame decode, socket ingest)@.";
+  Format.fprintf ppf
+    "==================================================================@.";
+  let w = Lazy.force fixture in
+  let model = w.W.model in
+  let n_paths = model.Tomo.Model.n_paths in
+  let rng = Rng.create 9 in
+  let column () =
+    String.init n_paths (fun _ -> if Rng.bool rng ~p:0.7 then '1' else '0')
+  in
+  let n_ticks = 2000 in
+  let wire =
+    let b = Buffer.create (n_ticks * (n_paths + 16)) in
+    Tomo_net.Frame.encode_into b "peer bench";
+    Tomo_net.Frame.encode_into b "tomo-trace v1";
+    Tomo_net.Frame.encode_into b (Printf.sprintf "paths %d" n_paths);
+    for i = 0 to n_ticks - 1 do
+      Tomo_net.Frame.encode_into b (Printf.sprintf "tick %d %s" i (column ()))
+    done;
+    Buffer.contents b
+  in
+  let n_frames = n_ticks + 3 in
+  (* decode alone, fed in 64 KiB chunks as a socket reader would *)
+  let decode_ns =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let dec = Tomo_net.Frame.create () in
+      let t0 = Unix.gettimeofday () in
+      let off = ref 0 in
+      while !off < String.length wire do
+        let len = min 65536 (String.length wire - !off) in
+        Tomo_net.Frame.feed dec
+          (Bytes.unsafe_of_string wire)
+          ~off:!off ~len;
+        while Tomo_net.Frame.next dec <> None do
+          ()
+        done;
+        off := !off + len
+      done;
+      assert (Tomo_net.Frame.frames_decoded dec = n_frames);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best *. 1e9 /. float_of_int n_frames
+  in
+  (* end-to-end: socketpair → reader thread → record parse → queue →
+     drain loop (window larger than the trace, so no estimates) *)
+  let ingest_ns =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let hub =
+        Tomo_net.Hub.create ~model ~window:(n_ticks + 1)
+          ~queue_capacity:256 ()
+      in
+      let server, client =
+        Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+      in
+      let t0 = Unix.gettimeofday () in
+      Tomo_net.Hub.attach hub server;
+      let runner = Thread.create Tomo_net.Hub.run hub in
+      let writer =
+        Thread.create
+          (fun () ->
+            let b = Bytes.unsafe_of_string wire in
+            let off = ref 0 in
+            (try
+               while !off < Bytes.length b do
+                 off :=
+                   !off + Unix.write client b !off (Bytes.length b - !off)
+               done
+             with Unix.Unix_error _ -> ());
+            try Unix.close client with Unix.Unix_error _ -> ())
+          ()
+      in
+      while
+        (Tomo_net.Hub.stats hub).Tomo_net.Hub.ticks_ingested < n_ticks
+      do
+        Thread.yield ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Tomo_net.Hub.request_stop hub;
+      Thread.join runner;
+      Thread.join writer;
+      best := Float.min !best dt
+    done;
+    !best *. 1e9 /. float_of_int n_ticks
+  in
+  Format.fprintf ppf "net/decode-frame: %.1f ns/frame@." decode_ns;
+  Format.fprintf ppf "net/ingest-throughput: %.1f ns/tick (%.0f ticks/s)@.@."
+    ingest_ns
+    (1e9 /. ingest_ns);
+  [ ("net/decode-frame", decode_ns, nan);
+    ("net/ingest-throughput", ingest_ns, nan) ]
+
 let bench_tests () =
   let w = Lazy.force fixture in
   let wc = Lazy.force fixture_corr in
@@ -687,8 +789,9 @@ let () =
   let obs_rows =
     if enabled "TOMO_BENCH_OBS" then obs_overhead_pass () else []
   in
+  let net_rows = if enabled "TOMO_BENCH_NET" then net_pass () else [] in
   let rows =
-    rows @ obs_rows
+    rows @ obs_rows @ net_rows
     @
     match sim with
     | None -> []

@@ -311,6 +311,16 @@ let replay_arg =
            stdin) or an archived tomo-observations file (detected by \
            header).")
 
+let replay_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE"
+        ~doc:
+          "Measurement stream to replay: a tomo-trace file (\"-\" for \
+           stdin) or an archived tomo-observations file (detected by \
+           header). Mutually exclusive with --ingest.")
+
 let window_arg =
   Arg.(
     value & opt int 100
@@ -418,20 +428,114 @@ let linger_arg =
            $(docv) seconds after the replay drains, so a final scrape \
            can observe the finished run.")
 
+let ingest_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ingest" ] ~docv:"ADDR"
+        ~doc:
+          "Accept live framed tomo-trace streams (the send-trace wire \
+           format) instead of replaying a file: $(docv) is a Unix-socket \
+           path, HOST:PORT, or a bare PORT, like --listen. Each \
+           connected peer gets its own sliding-window engine; run until \
+           SIGINT/SIGTERM (or --max-ticks). Mutually exclusive with \
+           --replay.")
+
+let ingest_queue_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "ingest-queue" ] ~docv:"N"
+        ~doc:
+          "Per-peer bounded queue capacity in ticks: how far a peer's \
+           reader may run ahead of its engine before backpressure (see \
+           --ingest-policy) kicks in.")
+
+let ingest_policy_arg =
+  Arg.(
+    value & opt string "block"
+    & info [ "ingest-policy" ] ~docv:"POLICY"
+        ~doc:
+          "What to do when a peer's queue is full: \"block\" parks the \
+           reader (the peer's TCP writes eventually stall — ordinary \
+           backpressure), \"drop\" disconnects the slow peer to protect \
+           the rest.")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Drop a peer that sends nothing for $(docv) seconds (guards \
+           against half-open connections). 0 waits forever.")
+
+let snapshot_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-dir" ] ~docv:"DIR"
+        ~doc:
+          "With --ingest: write per-peer snapshots to $(docv)/NAME.snap \
+           every --snapshot-every ticks and at shutdown; a reconnecting \
+           peer of the same name is restored and its re-sent ticks \
+           skipped, so a killed daemon resumes bit-identically.")
+
+let report_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report-dir" ] ~docv:"DIR"
+        ~doc:
+          "With --ingest: write each cleanly ended peer's final-window \
+           tomo-report to $(docv)/NAME.report — byte-identical to serve \
+           --replay of the same trace.")
+
+let to_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "to" ] ~docv:"ADDR"
+        ~doc:
+          "Daemon ingest address (same syntax as --ingest: Unix-socket \
+           path, HOST:PORT, or bare PORT).")
+
+let trace_in_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"tomo-trace v1 file to send (\"-\" for stdin).")
+
+let peer_name_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "peer" ] ~docv:"NAME"
+        ~doc:
+          "Announce this peer name ([A-Za-z0-9_.-]) in a hello frame — \
+           the daemon keys snapshots and reports by it, so re-sending \
+           under the same name resumes after a daemon restart. Unnamed \
+           senders get a per-connection name with no cross-restart \
+           identity.")
+
+let chunk_arg =
+  Arg.(
+    value & opt int 65536
+    & info [ "chunk" ] ~docv:"BYTES"
+        ~doc:"Batch roughly $(docv) bytes of frames per write.")
+
+let best_effort_arg =
+  Arg.(
+    value & flag
+    & info [ "best-effort" ]
+        ~doc:
+          "Exit 0 even if the daemon hangs up mid-send (it stopped, or \
+           dropped this peer) — for harnesses that race a sender \
+           against a bounded daemon.")
+
 (* Sniff the stream format so `serve --replay` accepts both the
-   line-per-interval trace format and archived batch observations. *)
-let open_replay_source path =
-  if path = "-" then Stream.Source.of_trace_file path
-  else
-    let header =
-      let ic = open_in path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> try input_line ic with End_of_file -> "")
-    in
-    if String.trim header = "tomo-observations v1" then
-      Stream.Source.of_observations_file path
-    else Stream.Source.of_trace_file path
+   line-per-interval trace format and archived batch observations (an
+   unknown or missing header names both accepted formats). *)
+let open_replay_source = Stream.Source.of_replay_file
 
 let check_source_paths source model =
   let sp = Stream.Source.n_paths source
@@ -565,8 +669,9 @@ let start_telemetry ~spec ~scale ~seed ~topology ~replay ~window engine =
       t.published <- s;
       Mutex.unlock t.lock )
 
-let run_serve scale seed topology replay window snapshot_in snapshot_out
-    snapshot_every max_ticks report_out progress listen flush_every linger =
+let run_serve_replay scale seed topology replay window snapshot_in
+    snapshot_out snapshot_every max_ticks report_out progress listen
+    flush_every linger =
   let model = model_for scale seed topology in
   let engine =
     match snapshot_in with
@@ -645,6 +750,192 @@ let run_serve scale seed topology replay window snapshot_in snapshot_out
       summarize est ~window:cap;
       write_report report_out (Stream.Engine.report_to_string ~window:cap est)
 
+(* ------------------------------------------------------------------ *)
+(* Network ingestion: serve --ingest / send-trace                      *)
+(* ------------------------------------------------------------------ *)
+
+let parse_addr ~flag spec =
+  match Tomo_obs.Exporter.listen_of_string spec with
+  | Ok l -> l
+  | Error e -> failwith (flag ^ ": " ^ e)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> Filename.dirname dir && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let start_ingest_telemetry ~spec ~scale ~seed ~topology ~ingest ~window hub =
+  let listen = parse_addr ~flag:"--listen" spec in
+  (* Scrapes must see live counters even when no file sink is
+     configured. *)
+  Tomo_obs.Metrics.set_enabled true;
+  Tomo_obs.Trace.set_max_roots (Some 1024);
+  let status_body () =
+    Printf.sprintf
+      "{\"config\":{\"scale\":%s,\"seed\":%d,\"topology\":%s,\"ingest\":%s,\
+       \"window\":%d},\"hub\":%s}"
+      (json_str (W.scale_to_string scale))
+      seed
+      (json_str (W.topology_to_string topology))
+      (json_str ingest) window
+      (Tomo_net.Hub.status_json hub)
+  in
+  let exporter = Tomo_obs.Exporter.start ~status:status_body listen in
+  Format.fprintf ppf "Telemetry on %s: /metrics /healthz /status@."
+    (Tomo_obs.Exporter.listen_to_string listen);
+  exporter
+
+let run_serve_ingest scale seed topology ingest window snapshot_every
+    max_ticks listen flush_every ingest_queue ingest_policy idle_timeout
+    snapshot_dir report_dir =
+  (* A peer hanging up mid-write must surface as EPIPE, not kill the
+     daemon. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let model = model_for scale seed topology in
+  let policy =
+    match Tomo_net.Hub.policy_of_string ingest_policy with
+    | Ok p -> p
+    | Error e -> failwith ("--ingest-policy: " ^ e)
+  in
+  let addr = parse_addr ~flag:"--ingest" ingest in
+  Option.iter mkdir_p snapshot_dir;
+  Option.iter mkdir_p report_dir;
+  let hub =
+    Tomo_net.Hub.create ~queue_capacity:ingest_queue ~policy ~idle_timeout
+      ?snapshot_dir ?report_dir ~snapshot_every ?max_ticks ~model ~window ()
+  in
+  (* Graceful shutdown: the handler only flips the hub's stop atomic
+     (signal-safe); the drain loop notices within its ticker period. *)
+  let on_signal _ = Tomo_net.Hub.request_stop hub in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  let telemetry =
+    Option.map
+      (fun spec ->
+        start_ingest_telemetry ~spec ~scale ~seed ~topology ~ingest ~window
+          hub)
+      listen
+  in
+  let flusher =
+    if flush_every > 0.0 then
+      Some (Tomo_obs.Flusher.start ~period_s:flush_every ())
+    else None
+  in
+  let listener =
+    Tomo_net.Listener.start addr ~on_accept:(Tomo_net.Hub.attach hub)
+  in
+  Format.fprintf ppf
+    "Ingesting framed tomo-trace streams on %s (window %d, queue %d, \
+     policy %s)@."
+    (Tomo_obs.Exporter.listen_to_string addr)
+    window ingest_queue
+    (Tomo_net.Hub.policy_to_string policy);
+  Tomo_net.Hub.run hub;
+  Tomo_net.Listener.stop listener;
+  Option.iter (Tomo_obs.Flusher.stop ?final_flush:None) flusher;
+  Option.iter Tomo_obs.Exporter.stop telemetry;
+  let s = Tomo_net.Hub.stats hub in
+  Format.fprintf ppf
+    "Ingest done: %d peers served, %d dropped, %d ticks ingested, %d \
+     frames (%d bytes), %d reports written@."
+    s.Tomo_net.Hub.peers_connected s.Tomo_net.Hub.peers_dropped
+    s.Tomo_net.Hub.ticks_ingested s.Tomo_net.Hub.frames_total
+    s.Tomo_net.Hub.bytes_total s.Tomo_net.Hub.reports_written
+
+let run_serve scale seed topology replay ingest window snapshot_in
+    snapshot_out snapshot_every max_ticks report_out progress listen
+    flush_every linger ingest_queue ingest_policy idle_timeout snapshot_dir
+    report_dir =
+  match (replay, ingest) with
+  | Some _, Some _ ->
+      failwith "--replay and --ingest are mutually exclusive"
+  | None, None ->
+      failwith "serve needs a stream: --replay FILE or --ingest ADDR"
+  | Some replay, None ->
+      run_serve_replay scale seed topology replay window snapshot_in
+        snapshot_out snapshot_every max_ticks report_out progress listen
+        flush_every linger
+  | None, Some ingest ->
+      run_serve_ingest scale seed topology ingest window snapshot_every
+        max_ticks listen flush_every ingest_queue ingest_policy idle_timeout
+        snapshot_dir report_dir
+
+let connect_to addr =
+  match addr with
+  | Tomo_obs.Exporter.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+  | Tomo_obs.Exporter.Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+
+let write_all_fd fd bytes len =
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let run_send_trace to_addr trace peer chunk best_effort =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = parse_addr ~flag:"--to" to_addr in
+  let ic = if trace = "-" then stdin else open_in trace in
+  let fd = connect_to addr in
+  let buf = Buffer.create (chunk + 4096) in
+  let records = ref 0 in
+  let bytes = ref 0 in
+  let flush_buf () =
+    if Buffer.length buf > 0 then begin
+      let b = Buffer.to_bytes buf in
+      write_all_fd fd b (Bytes.length b);
+      bytes := !bytes + Bytes.length b;
+      Buffer.clear buf
+    end
+  in
+  let send_record line =
+    Tomo_net.Frame.encode_into buf line;
+    incr records;
+    if Buffer.length buf >= chunk then flush_buf ()
+  in
+  let hung_up = ref None in
+  (try
+     Option.iter (fun name -> send_record ("peer " ^ name)) peer;
+     let rec go () =
+       match In_channel.input_line ic with
+       | None -> ()
+       | Some line ->
+           if String.trim line <> "" then send_record line;
+           go ()
+     in
+     go ();
+     flush_buf ()
+   with Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as e), _, _) ->
+     hung_up := Some (Unix.error_message e));
+  if trace <> "-" then close_in ic;
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match !hung_up with
+  | None ->
+      Format.fprintf ppf "Sent %d records (%d bytes) to %s@." !records
+        !bytes
+        (Tomo_obs.Exporter.listen_to_string addr)
+  | Some reason when best_effort ->
+      Format.fprintf ppf
+        "Daemon hung up after %d bytes (%s) — best-effort, exiting 0@."
+        !bytes reason
+  | Some reason ->
+      failwith
+        (Printf.sprintf "daemon hung up mid-send after %d bytes: %s" !bytes
+           reason)
+
 let run_batch_report scale seed topology replay window report_out =
   let model = model_for scale seed topology in
   let source = open_replay_source replay in
@@ -718,24 +1009,43 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the online sliding-window engine over a replayed \
-          measurement stream, re-estimating congestion probabilities \
-          every interval; snapshots allow a killed server to resume \
-          bit-identically, and --listen serves scrapeable live \
-          telemetry while it runs.")
+         "Run the online sliding-window engine over a measurement \
+          stream — a replayed file (--replay) or live framed streams \
+          from send-trace peers (--ingest), re-estimating congestion \
+          probabilities every interval; snapshots allow a killed server \
+          to resume bit-identically, and --listen serves scrapeable \
+          live telemetry while it runs.")
     Term.(
-      const (fun scale seed topology replay window snapshot_in snapshot_out
-                snapshot_every max_ticks report_out progress listen
-                flush_every linger sparse jobs trace mout eout ->
-          with_obs sparse jobs trace mout eout (fun () ->
-              run_serve scale seed topology replay window snapshot_in
+      const (fun scale seed topology replay ingest window snapshot_in
                 snapshot_out snapshot_every max_ticks report_out progress
-                listen flush_every linger))
-      $ scale_arg $ seed_arg $ topology_arg $ replay_arg $ window_arg
-      $ snapshot_in_arg $ snapshot_out_arg $ snapshot_every_arg
+                listen flush_every linger ingest_queue ingest_policy
+                idle_timeout snapshot_dir report_dir sparse jobs trace mout
+                eout ->
+          with_obs sparse jobs trace mout eout (fun () ->
+              run_serve scale seed topology replay ingest window snapshot_in
+                snapshot_out snapshot_every max_ticks report_out progress
+                listen flush_every linger ingest_queue ingest_policy
+                idle_timeout snapshot_dir report_dir))
+      $ scale_arg $ seed_arg $ topology_arg $ replay_opt_arg $ ingest_arg
+      $ window_arg $ snapshot_in_arg $ snapshot_out_arg $ snapshot_every_arg
       $ max_ticks_arg $ report_out_arg $ progress_arg $ listen_arg
-      $ flush_every_arg $ linger_arg $ sparse_threshold_arg $ jobs_arg
-      $ trace_arg $ metrics_out_arg $ events_out_arg)
+      $ flush_every_arg $ linger_arg $ ingest_queue_arg $ ingest_policy_arg
+      $ idle_timeout_arg $ snapshot_dir_arg $ report_dir_arg
+      $ sparse_threshold_arg $ jobs_arg $ trace_arg $ metrics_out_arg
+      $ events_out_arg)
+
+let send_trace_cmd =
+  Cmd.v
+    (Cmd.info "send-trace"
+       ~doc:
+         "Stream a tomo-trace file to a serve --ingest daemon over its \
+          Unix or TCP socket, length-prefix framing each record; with \
+          --peer the daemon keys the stream's snapshots/reports by that \
+          name, so re-sending the same trace resumes a killed daemon \
+          bit-identically.")
+    Term.(
+      const run_send_trace
+      $ to_arg $ trace_in_arg $ peer_name_arg $ chunk_arg $ best_effort_arg)
 
 let batch_report_cmd =
   Cmd.v
@@ -786,6 +1096,7 @@ let () =
       table2_cmd;
       gen_trace_cmd;
       serve_cmd;
+      send_trace_cmd;
       batch_report_cmd;
     ]
   in

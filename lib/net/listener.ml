@@ -1,0 +1,48 @@
+module Obs = Tomo_obs
+
+type t = {
+  fd : Unix.file_descr;
+  listen : Obs.Exporter.listen;
+  on_accept : Unix.file_descr -> unit;
+  mutable stopped : bool;
+  mutable thread : Thread.t option;
+}
+
+let listen t = t.listen
+
+let rec accept_loop t =
+  match Unix.accept t.fd with
+  | client, _ ->
+      (try t.on_accept client
+       with e ->
+         Obs.Sink.record_error
+           ("ingest accept failed: " ^ Printexc.to_string e);
+         (try Unix.close client with Unix.Unix_error _ -> ()));
+      if not t.stopped then accept_loop t
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if not t.stopped then accept_loop t
+  | exception Unix.Unix_error _ ->
+      (* listening socket closed by [stop], or torn down at exit *)
+      ()
+
+let start listen ~on_accept =
+  let fd = Obs.Exporter.bind listen in
+  let t = { fd; listen; on_accept; stopped = false; thread = None } in
+  Obs.Events.emit "ingest_listening"
+    [ ("addr", Obs.Exporter.listen_to_string listen) ];
+  t.thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    (match t.listen with
+    | Obs.Exporter.Unix_sock path -> (
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Obs.Exporter.Tcp _ -> ());
+    (match t.thread with Some th -> Thread.join th | None -> ());
+    Obs.Events.emit "ingest_stopped"
+      [ ("addr", Obs.Exporter.listen_to_string t.listen) ]
+  end

@@ -1,0 +1,23 @@
+(** Accepting ingestion peers: a TCP or Unix-domain listening socket
+    (bound via {!Tomo_obs.Exporter.bind}, so ingestion and telemetry
+    accept identical ["HOST:PORT" | "PORT" | path] address syntax) plus
+    one accept systhread handing each connection to a callback.
+
+    The callback runs on the accept thread and must return quickly —
+    the {!Hub} just registers the peer and spawns its reader thread.
+    Accept-loop errors on an individual connection are counted and
+    dropped; the loop only exits on {!stop}. *)
+
+type t
+
+(** [start listen ~on_accept] binds, listens, and starts accepting.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+val start :
+  Tomo_obs.Exporter.listen -> on_accept:(Unix.file_descr -> unit) -> t
+
+val listen : t -> Tomo_obs.Exporter.listen
+
+(** Close the listening socket (unlinking a Unix socket path) and join
+    the accept thread.  Already-accepted connections are untouched.
+    Idempotent. *)
+val stop : t -> unit

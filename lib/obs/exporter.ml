@@ -255,7 +255,7 @@ let rec accept_loop t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let bind_listen = function
+let bind = function
   | Unix_sock path ->
       (* A stale socket file from a previous run would make bind fail;
          only ever remove something that actually is a socket. *)
@@ -279,7 +279,7 @@ let bind_listen = function
       fd
 
 let start ?health ?status listen =
-  let fd = bind_listen listen in
+  let fd = bind listen in
   let t =
     {
       fd;

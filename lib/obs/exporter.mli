@@ -30,6 +30,14 @@ val listen_of_string : string -> (listen, string) result
 
 val listen_to_string : listen -> string
 
+(** [bind l] binds and listens on [l], returning the listening socket
+    (backlog 16).  A stale Unix socket file at the path is removed
+    first; TCP sockets get [SO_REUSEADDR].  Shared with the ingestion
+    plane ([Tomo_net.Listener]), so telemetry and ingestion accept
+    identical address syntax.  @raise Unix.Unix_error on bind
+    failures. *)
+val bind : listen -> Unix.file_descr
+
 (** Bind and start serving on a background thread.  [health] / [status]
     return complete JSON bodies and are called on the exporter thread —
     they must be thread-safe (read an immutable published snapshot, not

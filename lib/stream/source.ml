@@ -30,94 +30,40 @@ let drop source n =
 
 (* ------------------------------------------------------------------ *)
 (* tomo-trace v1 over an input channel (file, stdin, or later a socket
-   stream — anything line-oriented)                                     *)
+   stream — anything line-oriented).  The record grammar itself lives
+   in {!Record}, shared with the socket ingestion plane.               *)
 (* ------------------------------------------------------------------ *)
-
-let fail ~filename ~lineno fmt =
-  Format.kasprintf
-    (fun msg -> failwith (Printf.sprintf "%s:%d: %s" filename lineno msg))
-    fmt
 
 type trace_conn = {
   ic : in_channel;
-  filename : string;
   owns_channel : bool;
-  paths : int;
-  mutable lineno : int;
-  mutable next_tick : int;
+  rcd : Record.t;
   mutable closed : bool;
   mutable eof : bool;
 }
 
-let input_trimmed_line conn =
-  match In_channel.input_line conn.ic with
-  | None -> None
-  | Some l ->
-      conn.lineno <- conn.lineno + 1;
-      Some (String.trim l)
-
-(* Skip blank lines; [None] = clean end of stream. *)
-let rec next_payload_line conn =
-  match input_trimmed_line conn with
-  | None -> None
-  | Some "" -> next_payload_line conn
-  | Some l -> Some l
-
-let words l = String.split_on_char ' ' l |> List.filter (( <> ) "")
-
 module Trace_source = struct
   type conn = trace_conn
 
-  let n_paths c = c.paths
+  let n_paths c = Option.value ~default:0 (Record.n_paths c.rcd)
 
-  let parse_batch c line =
-    match words line with
-    | [ "tick"; id; bits ] ->
-        let id =
-          match int_of_string_opt id with
-          | Some v -> v
-          | None ->
-              fail ~filename:c.filename ~lineno:c.lineno
-                "expected integer tick id, got %S" id
-        in
-        if id <> c.next_tick then
-          fail ~filename:c.filename ~lineno:c.lineno
-            "out-of-order tick: expected %d, got %d (truncated or \
-             reordered trace?)"
-            c.next_tick id;
-        if String.length bits <> c.paths then
-          fail ~filename:c.filename ~lineno:c.lineno
-            "ragged tick: expected %d status characters, got %d" c.paths
-            (String.length bits);
-        let good = Bitset.create c.paths in
-        String.iteri
-          (fun p ch ->
-            match ch with
-            | '1' -> Bitset.set good p
-            | '0' -> ()
-            | ch ->
-                fail ~filename:c.filename ~lineno:c.lineno
-                  "bad status character %C (expected 0 or 1)" ch)
-          bits;
-        c.next_tick <- c.next_tick + 1;
-        good
-    | _ ->
-        fail ~filename:c.filename ~lineno:c.lineno "unrecognized line %S"
-          line
-
-  let next c =
+  (* Feed lines until one carries a tick batch; [None] = clean EOF. *)
+  let rec next c =
     if c.closed || c.eof then None
     else
-      match next_payload_line c with
+      match In_channel.input_line c.ic with
       | None ->
           c.eof <- true;
           Obs.Events.emit "source_eof"
             [
-              ("source", c.filename);
-              ("ticks", string_of_int c.next_tick);
+              ("source", Record.origin c.rcd);
+              ("ticks", string_of_int (Record.next_tick c.rcd));
             ];
           None
-      | Some line -> Some (parse_batch c line)
+      | Some line -> (
+          match Record.feed c.rcd line with
+          | Record.Tick good -> Some good
+          | Record.Blank | Record.Header | Record.Paths _ -> next c)
 
   let close c =
     if not c.closed then begin
@@ -127,43 +73,29 @@ module Trace_source = struct
 end
 
 let of_trace_channel ?(filename = "<channel>") ?(owns_channel = false) ic =
-  let conn =
-    {
-      ic;
-      filename;
-      owns_channel;
-      paths = 0;
-      lineno = 0;
-      next_tick = 0;
-      closed = false;
-      eof = false;
-    }
-  in
-  (match next_payload_line conn with
-  | Some "tomo-trace v1" -> ()
-  | Some l ->
-      fail ~filename ~lineno:conn.lineno "unknown trace format: %S" l
-  | None -> fail ~filename ~lineno:1 "empty trace");
-  let paths =
-    match next_payload_line conn with
-    | Some l -> (
-        match words l with
-        | [ "paths"; n ] -> (
-            match int_of_string_opt n with
-            | Some v when v > 0 -> v
-            | _ ->
-                fail ~filename ~lineno:conn.lineno
-                  "expected a positive path count, got %S" n)
-        | _ ->
-            fail ~filename ~lineno:conn.lineno
-              "expected 'paths <n>', got %S" l)
+  let rcd = Record.create ~origin:filename () in
+  let conn = { ic; owns_channel; rcd; closed = false; eof = false } in
+  (* Validate the header and path count eagerly, so a wrong file fails
+     at open time rather than on the first [next]. *)
+  let rec eat_until_paths saw_header =
+    match In_channel.input_line ic with
     | None ->
-        fail ~filename ~lineno:conn.lineno "truncated trace: missing \
-                                            'paths <n>' line"
+        if saw_header then
+          Record.fail rcd "truncated trace: missing 'paths <n>' line"
+        else Record.fail_at ~origin:filename ~lineno:1 "empty trace"
+    | Some line -> (
+        match Record.feed rcd line with
+        | Record.Paths _ -> ()
+        | Record.Header -> eat_until_paths true
+        | Record.Blank -> eat_until_paths saw_header
+        | Record.Tick _ -> assert false (* unreachable before Paths *))
   in
-  let conn = { conn with paths } in
+  eat_until_paths false;
   Obs.Events.emit "source_open"
-    [ ("source", filename); ("paths", string_of_int paths) ];
+    [
+      ("source", filename);
+      ("paths", string_of_int (Option.get (Record.n_paths rcd)));
+    ];
   Source ((module Trace_source), conn)
 
 let of_trace_file path =
@@ -204,3 +136,31 @@ let of_observations obs =
   Source ((module Obs_source), { obs; cursor = 0 })
 
 let of_observations_file path = of_observations (Tomo.Observations_io.load path)
+
+(* ------------------------------------------------------------------ *)
+(* Format sniffing: accept either replayable format by header           *)
+(* ------------------------------------------------------------------ *)
+
+let of_replay_file path =
+  if path = "-" then of_trace_file path
+  else
+    let header =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> try input_line ic with End_of_file -> "")
+    in
+    match String.trim header with
+    | "tomo-observations v1" -> of_observations_file path
+    | "tomo-trace v1" -> of_trace_file path
+    | "" ->
+        failwith
+          (Printf.sprintf
+             "%s: empty or truncated replay file — expected a \
+              'tomo-trace v1' or 'tomo-observations v1' header"
+             path)
+    | other ->
+        Record.fail_at ~origin:path ~lineno:1
+          "unknown replay format %S (expected 'tomo-trace v1' or \
+           'tomo-observations v1')"
+          other

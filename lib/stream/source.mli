@@ -62,3 +62,11 @@ val of_observations : Tomo.Observations.t -> t
     [Tomo.Observations_io.load] (sharing its [file:line]-anchored
     diagnostics for truncated or ragged archives). *)
 val of_observations_file : string -> t
+
+(** [of_replay_file path] sniffs the header line and dispatches to
+    {!of_trace_file} ([tomo-trace v1]) or {!of_observations_file}
+    ([tomo-observations v1]); ["-"] always reads a trace from stdin.
+    An empty/truncated file or an unknown header raises [Failure]
+    naming both accepted formats — the sniffer behind
+    [tomo_cli serve --replay]. *)
+val of_replay_file : string -> t

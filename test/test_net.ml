@@ -1,0 +1,467 @@
+(* Tests for the network ingestion plane: the length-prefixed frame
+   codec (decode ∘ encode = id under any fragmentation, torn frames at
+   every byte boundary, oversized/zero-length rejection) and the Hub
+   end-to-end over real sockets — a socket-fed peer's report must be
+   byte-identical to driving the engine directly, a hub killed by its
+   tick budget and restarted from snapshots must be bit-identical to an
+   uninterrupted run, and misbehaving peers (garbage frames, half-open
+   connections, queue overflow) must be dropped without perturbing the
+   others. *)
+
+module Bitset = Tomo_util.Bitset
+module Rng = Tomo_util.Rng
+module Engine = Tomo_stream.Engine
+module Frame = Tomo_net.Frame
+module Hub = Tomo_net.Hub
+module Listener = Tomo_net.Listener
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Frame codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let drain_frames dec =
+  let rec go acc =
+    match Frame.next dec with None -> List.rev acc | Some f -> go (f :: acc)
+  in
+  go []
+
+let wire_of payloads =
+  let b = Buffer.create 256 in
+  List.iter (Frame.encode_into b) payloads;
+  Buffer.contents b
+
+let payloads_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 8)
+      (string_size (int_range 1 40) ~gen:(char_range '\000' '\255')))
+
+let payloads_arb =
+  QCheck.make ~print:(fun ps -> String.concat "|" (List.map String.escaped ps))
+    payloads_gen
+
+(* decode(encode(xs)) = xs when the whole wire arrives in one read. *)
+let frame_roundtrip_qcheck =
+  QCheck.Test.make ~count:200 ~name:"frame roundtrip, one read"
+    payloads_arb
+    (fun payloads ->
+      let dec = Frame.create () in
+      Frame.feed_string dec (wire_of payloads);
+      drain_frames dec = payloads && Frame.at_boundary dec)
+
+(* ... and when the wire is torn at every byte boundary: for each split
+   point, feeding the two halves yields the same frames. *)
+let frame_torn_qcheck =
+  QCheck.Test.make ~count:50 ~name:"frame roundtrip, torn at every byte"
+    payloads_arb
+    (fun payloads ->
+      let wire = wire_of payloads in
+      let ok = ref true in
+      for cut = 0 to String.length wire do
+        let dec = Frame.create () in
+        Frame.feed_string dec (String.sub wire 0 cut);
+        Frame.feed_string dec
+          (String.sub wire cut (String.length wire - cut));
+        if drain_frames dec <> payloads || not (Frame.at_boundary dec) then
+          ok := false
+      done;
+      !ok)
+
+(* ... and byte-at-a-time (maximal fragmentation). *)
+let frame_bytewise_qcheck =
+  QCheck.Test.make ~count:100 ~name:"frame roundtrip, byte at a time"
+    payloads_arb
+    (fun payloads ->
+      let wire = wire_of payloads in
+      let dec = Frame.create () in
+      String.iter (fun c -> Frame.feed_string dec (String.make 1 c)) wire;
+      drain_frames dec = payloads && Frame.at_boundary dec)
+
+let test_frame_rejections () =
+  (* encode refuses empty and oversized payloads *)
+  (match Frame.encode "" with
+  | _ -> Alcotest.fail "empty payload accepted"
+  | exception Invalid_argument _ -> ());
+  (match Frame.encode ~max_payload:4 "12345" with
+  | _ -> Alcotest.fail "oversized payload accepted"
+  | exception Invalid_argument _ -> ());
+  (* a header announcing more than the cap poisons the decoder *)
+  let dec = Frame.create ~max_payload:16 () in
+  let huge = "\x00\x00\x01\x00" (* 256 bytes *) in
+  (match Frame.feed_string dec huge with
+  | _ -> Alcotest.fail "oversized frame accepted"
+  | exception Failure msg ->
+      check_bool "names the cap" true (contains ~needle:"exceeds cap" msg));
+  (* ... and stays poisoned: the peer cannot resynchronize *)
+  (match Frame.feed_string dec (Frame.encode "ok") with
+  | _ -> Alcotest.fail "poisoned decoder recovered"
+  | exception Failure _ -> ());
+  (* a zero-length frame is a protocol error too *)
+  let dec = Frame.create () in
+  (match Frame.feed_string dec "\x00\x00\x00\x00" with
+  | _ -> Alcotest.fail "zero-length frame accepted"
+  | exception Failure _ -> ());
+  (* a clean stream ends at a boundary; a torn one does not *)
+  let dec = Frame.create () in
+  Frame.feed_string dec (Frame.encode "hello");
+  check_bool "boundary after full frame" true (Frame.at_boundary dec);
+  Frame.feed_string dec "\x00\x00";
+  check_bool "mid-header is not a boundary" false (Frame.at_boundary dec);
+  check_int "frames_decoded" 1 (Frame.frames_decoded dec);
+  check_int "bytes_fed" (String.length (Frame.encode "hello") + 2)
+    (Frame.bytes_fed dec)
+
+(* ------------------------------------------------------------------ *)
+(* Shared scaffolding for the hub tests                                *)
+(* ------------------------------------------------------------------ *)
+
+let shuffled_prefix rng n k =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.sub a 0 k
+
+let random_model rng =
+  let n_links = 4 + Rng.int rng 6 in
+  let n_paths = 3 + Rng.int rng 5 in
+  let paths =
+    Array.init n_paths (fun _ ->
+        let k = 1 + Rng.int rng (min 4 n_links) in
+        shuffled_prefix rng n_links k)
+  in
+  let sets = ref [] and i = ref 0 in
+  while !i < n_links do
+    let k = min (n_links - !i) (1 + Rng.int rng 3) in
+    sets := Array.init k (fun j -> !i + j) :: !sets;
+    i := !i + k
+  done;
+  Tomo.Model.make ~n_links ~paths
+    ~corr_sets:(Array.of_list (List.rev !sets))
+
+let random_column rng n_paths =
+  let b = Bitset.create n_paths in
+  for p = 0 to n_paths - 1 do
+    if Rng.bool rng ~p:0.7 then Bitset.set b p
+  done;
+  b
+
+let bits_of col n_paths =
+  String.init n_paths (fun p -> if Bitset.get col p then '1' else '0')
+
+(* The framed records a well-behaved peer sends for [cols]. *)
+let trace_frames ?peer ~n_paths cols =
+  let records = ref [] in
+  Option.iter (fun name -> records := [ "peer " ^ name ]) peer;
+  records := "tomo-trace v1" :: !records;
+  records := Printf.sprintf "paths %d" n_paths :: !records;
+  Array.iteri
+    (fun i col ->
+      records :=
+        Printf.sprintf "tick %d %s" i (bits_of col n_paths) :: !records)
+    cols;
+  wire_of (List.rev !records)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "tomo_net_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> try rm_rf dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done
+
+(* A peer over a socketpair: hands the server end to [attach], writes
+   [wire] from a client thread, then half-closes. *)
+let spawn_peer ?(close_after = true) hub wire =
+  let server, client =
+    Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+  in
+  Hub.attach hub server;
+  let th =
+    Thread.create
+      (fun () ->
+        (try write_all client wire
+         with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+        if close_after then
+          try Unix.close client with Unix.Unix_error _ -> ())
+      ()
+  in
+  (th, client)
+
+let wait_for ?(timeout = 20.) pred what =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () -. t0 > timeout then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* The reference: drive an engine directly over the same columns. *)
+let expected_report ~model ~window cols =
+  let engine = Engine.create ~model ~window () in
+  let last =
+    Array.fold_left
+      (fun last col ->
+        match Engine.ingest engine (Bitset.copy col) with
+        | Some e -> Some e
+        | None -> last)
+      None cols
+  in
+  Engine.report_to_string ~window (Option.get last)
+
+(* ------------------------------------------------------------------ *)
+(* Hub: socket-fed == direct, per-peer isolation                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_hub_matches_direct () =
+  let rng = Rng.create 11 in
+  let model = random_model rng in
+  let n_paths = model.Tomo.Model.n_paths in
+  let window = 4 and total = 12 in
+  let cols_a = Array.init total (fun _ -> random_column rng n_paths) in
+  let cols_b = Array.init total (fun _ -> random_column rng n_paths) in
+  with_tmpdir (fun dir ->
+      let hub = Hub.create ~model ~window ~report_dir:dir () in
+      let runner = Thread.create Hub.run hub in
+      let th_a, _ =
+        spawn_peer hub (trace_frames ~peer:"alpha" ~n_paths cols_a)
+      in
+      let th_b, _ =
+        spawn_peer hub (trace_frames ~peer:"beta" ~n_paths cols_b)
+      in
+      wait_for
+        (fun () -> (Hub.stats hub).Hub.reports_written = 2)
+        "both reports";
+      Hub.request_stop hub;
+      Thread.join runner;
+      Thread.join th_a;
+      Thread.join th_b;
+      let s = Hub.stats hub in
+      check_int "ticks" (2 * total) s.Hub.ticks_ingested;
+      check_int "dropped" 0 s.Hub.peers_dropped;
+      Alcotest.(check string)
+        "alpha socket report == direct engine report"
+        (expected_report ~model ~window cols_a)
+        (read_file (Filename.concat dir "alpha.report"));
+      Alcotest.(check string)
+        "beta socket report == direct engine report"
+        (expected_report ~model ~window cols_b)
+        (read_file (Filename.concat dir "beta.report")))
+
+(* Kill the hub mid-ingest via its tick budget, restart it from the
+   snapshot directory, re-send the full trace: the final report must be
+   byte-identical to an uninterrupted run. *)
+let test_hub_kill_restore () =
+  let rng = Rng.create 23 in
+  let model = random_model rng in
+  let n_paths = model.Tomo.Model.n_paths in
+  let window = 4 and total = 14 and cut = 9 in
+  let cols = Array.init total (fun _ -> random_column rng n_paths) in
+  let wire = trace_frames ~peer:"gamma" ~n_paths cols in
+  with_tmpdir (fun dir ->
+      (* run 1: cut after [cut] ticks — Hub.run returns on its own *)
+      let hub1 =
+        Hub.create ~model ~window ~snapshot_dir:dir ~report_dir:dir
+          ~max_ticks:cut ()
+      in
+      let runner1 = Thread.create Hub.run hub1 in
+      let th1, _ = spawn_peer hub1 wire in
+      Thread.join runner1;
+      Thread.join th1;
+      let s1 = Hub.stats hub1 in
+      check_int "cut at the budget" cut s1.Hub.ticks_ingested;
+      check_int "no report from the cut run" 0 s1.Hub.reports_written;
+      check_bool "snapshot exists" true
+        (Sys.file_exists (Filename.concat dir "gamma.snap"));
+      (* run 2: restore, re-send everything (skip fast-forwards) *)
+      let hub2 =
+        Hub.create ~model ~window ~snapshot_dir:dir ~report_dir:dir ()
+      in
+      let runner2 = Thread.create Hub.run hub2 in
+      let th2, _ = spawn_peer hub2 wire in
+      wait_for
+        (fun () -> (Hub.stats hub2).Hub.reports_written = 1)
+        "resumed report";
+      Hub.request_stop hub2;
+      Thread.join runner2;
+      Thread.join th2;
+      check_int "only the tail was re-ingested" (total - cut)
+        (Hub.stats hub2).Hub.ticks_ingested;
+      Alcotest.(check string)
+        "kill+restore report == uninterrupted report"
+        (expected_report ~model ~window cols)
+        (read_file (Filename.concat dir "gamma.report")))
+
+(* A peer sending a well-framed but garbage record is dropped; a peer
+   racing it on another socket is untouched. *)
+let test_hub_garbage_peer_isolated () =
+  let rng = Rng.create 37 in
+  let model = random_model rng in
+  let n_paths = model.Tomo.Model.n_paths in
+  let window = 3 and total = 8 in
+  let cols = Array.init total (fun _ -> random_column rng n_paths) in
+  with_tmpdir (fun dir ->
+      let hub = Hub.create ~model ~window ~report_dir:dir () in
+      let runner = Thread.create Hub.run hub in
+      let th_bad, _ =
+        spawn_peer hub
+          (wire_of [ "peer evil"; "tomo-trace v1"; "paths nope" ])
+      in
+      let th_ugly, _ =
+        (* raw garbage: a frame header announcing 2 GiB *)
+        spawn_peer hub "\x7f\xff\xff\xff overflow!"
+      in
+      let th_good, _ =
+        spawn_peer hub (trace_frames ~peer:"good" ~n_paths cols)
+      in
+      wait_for
+        (fun () ->
+          let s = Hub.stats hub in
+          s.Hub.reports_written = 1 && s.Hub.peers_dropped = 2)
+        "good report + two drops";
+      Hub.request_stop hub;
+      Thread.join runner;
+      List.iter Thread.join [ th_bad; th_ugly; th_good ];
+      Alcotest.(check string)
+        "good peer unperturbed"
+        (expected_report ~model ~window cols)
+        (read_file (Filename.concat dir "good.report"));
+      check_bool "no report for the garbage peer" false
+        (Sys.file_exists (Filename.concat dir "evil.report")))
+
+(* A half-open peer (connects, sends a prefix, then goes silent) is
+   reaped by the idle timeout. *)
+let test_hub_idle_timeout () =
+  let rng = Rng.create 41 in
+  let model = random_model rng in
+  let hub = Hub.create ~model ~window:3 ~idle_timeout:0.2 () in
+  let runner = Thread.create Hub.run hub in
+  let th, client =
+    spawn_peer ~close_after:false hub
+      (wire_of [ "peer sleepy"; "tomo-trace v1" ])
+  in
+  wait_for
+    (fun () -> (Hub.stats hub).Hub.peers_dropped = 1)
+    "idle peer dropped";
+  Hub.request_stop hub;
+  Thread.join runner;
+  Thread.join th;
+  (try Unix.close client with Unix.Unix_error _ -> ());
+  check_int "dropped" 1 (Hub.stats hub).Hub.peers_dropped
+
+(* With the drop policy and no draining (the hub loop never runs), a
+   blaster overflows its bounded queue and is disconnected. *)
+let test_hub_overflow_drop_policy () =
+  let rng = Rng.create 43 in
+  let model = random_model rng in
+  let n_paths = model.Tomo.Model.n_paths in
+  let total = 50 in
+  let cols = Array.init total (fun _ -> random_column rng n_paths) in
+  let hub =
+    Hub.create ~model ~window:3 ~queue_capacity:2 ~policy:Hub.Drop_peer ()
+  in
+  let th, _ = spawn_peer hub (trace_frames ~peer:"blaster" ~n_paths cols) in
+  wait_for
+    (fun () -> (Hub.stats hub).Hub.peers_dropped = 1)
+    "overflowing peer dropped";
+  Thread.join th;
+  (* a post-hoc run must still shut down cleanly *)
+  Hub.request_stop hub;
+  Hub.run hub;
+  check_int "dropped" 1 (Hub.stats hub).Hub.peers_dropped
+
+(* ------------------------------------------------------------------ *)
+(* Listener: accepts on a real Unix socket                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_listener_accepts () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "ingest.sock" in
+      let accepted = ref 0 in
+      let m = Mutex.create () in
+      let listener =
+        Listener.start (Tomo_obs.Exporter.Unix_sock path)
+          ~on_accept:(fun fd ->
+            Mutex.lock m;
+            incr accepted;
+            Mutex.unlock m;
+            Unix.close fd)
+      in
+      let connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        Unix.close fd
+      in
+      connect ();
+      connect ();
+      wait_for
+        (fun () ->
+          Mutex.lock m;
+          let n = !accepted in
+          Mutex.unlock m;
+          n = 2)
+        "two accepts";
+      Listener.stop listener;
+      check_bool "socket file unlinked" false (Sys.file_exists path))
+
+let () =
+  Tomo_par.Pool.set_default_jobs 1;
+  Alcotest.run "net"
+    [
+      ( "frame",
+        [
+          QCheck_alcotest.to_alcotest frame_roundtrip_qcheck;
+          QCheck_alcotest.to_alcotest frame_torn_qcheck;
+          QCheck_alcotest.to_alcotest frame_bytewise_qcheck;
+          Alcotest.test_case "rejections and boundaries" `Quick
+            test_frame_rejections;
+        ] );
+      ( "hub",
+        [
+          Alcotest.test_case "socket report == direct report" `Quick
+            test_hub_matches_direct;
+          Alcotest.test_case "kill + snapshot restore is bit-identical"
+            `Quick test_hub_kill_restore;
+          Alcotest.test_case "garbage peers dropped, good peer isolated"
+            `Quick test_hub_garbage_peer_isolated;
+          Alcotest.test_case "half-open peer reaped by idle timeout" `Quick
+            test_hub_idle_timeout;
+          Alcotest.test_case "queue overflow drops under drop policy" `Quick
+            test_hub_overflow_drop_policy;
+        ] );
+      ( "listener",
+        [ Alcotest.test_case "accepts over a Unix socket" `Quick test_listener_accepts ] );
+    ]

@@ -247,6 +247,33 @@ let test_trace_source_errors () =
           check_failure_containing "out-of-order tick" (path ^ ":3")
             (fun () -> Source.next src)))
 
+(* The serve --replay sniffer: dispatch by header, and name BOTH
+   accepted formats when the file is empty, truncated, or alien. *)
+let test_replay_sniffing () =
+  with_temp_file "tomo-trace v1\npaths 2\ntick 0 10\n" (fun path ->
+      let src = Source.of_replay_file path in
+      Fun.protect
+        ~finally:(fun () -> Source.close src)
+        (fun () -> check_int "trace dispatch" 2 (Source.n_paths src)));
+  with_temp_file "tomo-observations v1\npaths 2 intervals 1\nrow 0 1\nrow 1 0\n"
+    (fun path ->
+      let src = Source.of_replay_file path in
+      Fun.protect
+        ~finally:(fun () -> Source.close src)
+        (fun () -> check_int "observations dispatch" 2 (Source.n_paths src)));
+  let expect_both_formats name contents =
+    with_temp_file contents (fun path ->
+        check_failure_containing name "tomo-trace v1" (fun () ->
+            Source.of_replay_file path);
+        check_failure_containing name "tomo-observations v1" (fun () ->
+            Source.of_replay_file path);
+        check_failure_containing name path (fun () ->
+            Source.of_replay_file path))
+  in
+  expect_both_formats "empty file" "";
+  expect_both_formats "blank-only file" "\n\n";
+  expect_both_formats "alien header" "csv,of,course\n1,2,3\n"
+
 let test_observations_io_errors () =
   (* ragged row *)
   check_failure_containing "ragged row" "<string>:4" (fun () ->
@@ -351,6 +378,8 @@ let () =
         [
           Alcotest.test_case "trace diagnostics" `Quick
             test_trace_source_errors;
+          Alcotest.test_case "replay format sniffing" `Quick
+            test_replay_sniffing;
           Alcotest.test_case "observations diagnostics" `Quick
             test_observations_io_errors;
           Alcotest.test_case "drop fast-forward" `Quick test_source_drop;
