@@ -590,6 +590,41 @@ let bench_tests () =
         (Staged.stage (fun () -> Nullspace.basis stacked));
     ]
   in
+  (* Flat-substrate micro-rows: the word-level bit-set combine and the
+     O(1) row-view handoff that the elimination/CG kernels are built
+     on.  Fixtures sized so the work is memory-streaming, not
+     call-overhead. *)
+  let bs_a = Bitset.create 4096 and bs_b = Bitset.create 4096 in
+  let bs_scratch = Bitset.create 4096 in
+  let bs_rng = Rng.create 0xB5 in
+  for i = 0 to 4095 do
+    if Rng.bool bs_rng ~p:0.4 then Bitset.set bs_a i;
+    if Rng.bool bs_rng ~p:0.4 then Bitset.set bs_b i
+  done;
+  let rv_matrix =
+    Matrix.init 64 256 (fun i j -> float_of_int (((i * 7) + j) mod 13))
+  in
+  let flat_tests =
+    [
+      Test.make ~name:"kernel/bitset-union-words"
+        (Staged.stage (fun () ->
+             Bitset.copy_into ~into:bs_scratch bs_a;
+             Bitset.union_into ~into:bs_scratch bs_b;
+             Bitset.count bs_scratch));
+      Test.make ~name:"kernel/matrix-row-view"
+        (Staged.stage (fun () ->
+             (* Sum every row through its (buffer, offset) view: the
+                zero-copy access pattern of the flat rref/CG loops. *)
+             let acc = ref 0.0 in
+             for i = 0 to Matrix.rows rv_matrix - 1 do
+               let buf, off = Matrix.row_view rv_matrix i in
+               for k = 0 to Matrix.cols rv_matrix - 1 do
+                 acc := !acc +. Array.unsafe_get buf (off + k)
+               done
+             done;
+             !acc));
+    ]
+  in
   (* Sparse-vs-dense elimination on the paper-scale incidence fixture:
      the dense pair quantifies what the auto-routing buys. *)
   let paper_sparse, paper_dense, paper_rows = Lazy.force paper_incidence in
@@ -621,7 +656,7 @@ let bench_tests () =
     ]
   in
   Test.make_grouped ~name:"tomo" ~fmt:"%s %s"
-    (fig3_tests @ fig4_tests @ kernel_tests @ sparse_tests)
+    (fig3_tests @ fig4_tests @ kernel_tests @ flat_tests @ sparse_tests)
 
 let run_benchmarks () =
   Format.fprintf ppf

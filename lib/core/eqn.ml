@@ -142,21 +142,19 @@ let resolver model ~effective reg =
     done;
   let path_eff =
     Array.init model.Model.n_paths (fun p ->
-        let acc = ref [] and n = ref 0 in
+        let row = model.Model.path_links.(p) in
+        (* Size the array exactly with one word-level popcount pass, then
+           fill it in ascending order — no intermediate list. *)
+        let n = Bitset.count_inter row effective in
+        let a = Array.make n 0 in
+        let i = ref 0 in
         Bitset.iter
           (fun e ->
-            if Bitset.get effective e then begin
-              acc := e :: !acc;
-              incr n
+            if Bitset.unsafe_get effective e then begin
+              Array.unsafe_set a !i e;
+              incr i
             end)
-          model.Model.path_links.(p);
-        let a = Array.make !n 0 in
-        let i = ref (!n - 1) in
-        List.iter
-          (fun e ->
-            a.(!i) <- e;
-            decr i)
-          !acc;
+          row;
         a)
   in
   {

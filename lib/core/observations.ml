@@ -62,13 +62,13 @@ let good_count t ~path =
   check_path t path;
   t.counts.(path)
 
-(* Run [f] on a cleared scratch bit set.  The cached one is leased with a
-   single atomic exchange; if another domain holds it we fall back to a
+(* Run [f] on a scratch bit set of arbitrary prior content (callers
+   overwrite it wholesale before reading).  The cached one is leased with
+   a single atomic exchange; if another domain holds it we fall back to a
    fresh allocation, so concurrent readers stay correct. *)
 let with_scratch t f =
   match Atomic.exchange t.scratch None with
   | Some b ->
-      Bitset.clear_all b;
       let r = f b in
       Atomic.set t.scratch (Some b);
       r
@@ -83,7 +83,9 @@ let all_good_count t paths =
   | _ ->
       check_path t paths.(0);
       with_scratch t (fun acc ->
-          Bitset.union_into ~into:acc t.path_good.(paths.(0));
+          (* One word-level blit seeds the intersection — no clear pass,
+             no bit-at-a-time copy. *)
+          Bitset.copy_into ~into:acc t.path_good.(paths.(0));
           Array.iter
             (fun p ->
               check_path t p;

@@ -96,6 +96,10 @@ let link_dependence t a b =
   let m = model t in
   let eff = effective t in
   let best = ref None in
+  (* One scratch bit set reused across the whole (p, q) witness sweep:
+     [copy_into] overwrites it wholesale each round, so the inner loop
+     allocates nothing. *)
+  let scratch = Bitset.create m.Model.n_links in
   Bitset.iter
     (fun p ->
       Bitset.iter
@@ -111,15 +115,14 @@ let link_dependence t a b =
                between the witnesses; exonerated shared links never
                congest. *)
             let shared_eff =
-              let inter =
-                Bitset.inter m.Model.path_links.(p) m.Model.path_links.(q)
-              in
-              Bitset.inter_into ~into:inter eff;
+              Bitset.copy_into ~into:scratch m.Model.path_links.(p);
+              Bitset.inter_into ~into:scratch m.Model.path_links.(q);
+              Bitset.inter_into ~into:scratch eff;
               (* the links under test sit on both sides by construction,
                  so discount them *)
-              Bitset.clear inter a;
-              Bitset.clear inter b;
-              Bitset.count inter
+              Bitset.clear scratch a;
+              Bitset.clear scratch b;
+              Bitset.count scratch
             in
             match !best with
             | Some (_, _, s) when s <= shared_eff -> ()

@@ -124,15 +124,23 @@ let solve_sparse ~a ~b ?max_iter ?(tol = 1e-12) () =
   let m = Sparse.rows a and n_vars = Sparse.cols a in
   if Array.length b <> m then
     invalid_arg "Cgls.solve_sparse: size mismatch";
+  (* Freeze the system into flat CSR once per solve: the CG iteration
+     sweeps A hundreds of times, and the packed arrays replace two
+     pointer chases per row per sweep with contiguous streaming.  Per-
+     row entry order is preserved by [to_csr], so the accumulation
+     order — hence every float — is identical to the row-view loops. *)
+  let csr = Sparse.to_csr a in
+  let rp = csr.Sparse.row_ptr
+  and ci = csr.Sparse.col_idx
+  and vs = csr.Sparse.values in
   let apply_a v out =
     for i = 0 to m - 1 do
-      let cols, vals, nnz = Sparse.row_view a i in
       let acc = ref 0.0 in
-      for k = 0 to nnz - 1 do
+      for k = Array.unsafe_get rp i to Array.unsafe_get rp (i + 1) - 1 do
         acc :=
           !acc
-          +. (Array.unsafe_get vals k
-              *. Array.unsafe_get v (Array.unsafe_get cols k))
+          +. (Array.unsafe_get vs k
+              *. Array.unsafe_get v (Array.unsafe_get ci k))
       done;
       Array.unsafe_set out i !acc
     done
@@ -141,14 +149,12 @@ let solve_sparse ~a ~b ?max_iter ?(tol = 1e-12) () =
     Array.fill out 0 n_vars 0.0;
     for i = 0 to m - 1 do
       let wi = Array.unsafe_get w i in
-      if wi <> 0.0 then begin
-        let cols, vals, nnz = Sparse.row_view a i in
-        for k = 0 to nnz - 1 do
-          let j = Array.unsafe_get cols k in
+      if wi <> 0.0 then
+        for k = Array.unsafe_get rp i to Array.unsafe_get rp (i + 1) - 1 do
+          let j = Array.unsafe_get ci k in
           Array.unsafe_set out j
-            (Array.unsafe_get out j +. (wi *. Array.unsafe_get vals k))
+            (Array.unsafe_get out j +. (wi *. Array.unsafe_get vs k))
         done
-      end
     done
   in
   solve_core ~m ~n_vars ~apply_a ~apply_at ~b ~max_iter ~tol

@@ -6,10 +6,18 @@ let default_tol = 1e-10
 
 let c_dense = Obs.Metrics.counter "dense_rref_calls"
 
+(* The elimination runs directly on the flat row-major buffer: each row
+   is a contiguous stride-[nc] slice addressed by its base offset, so
+   the hot loops stream unboxed floats with no per-element bounds
+   checks.  The floating-point operation sequence is exactly the one
+   the boxed reference kernel performs (same pivoting, same order), so
+   results are bit-identical — test/test_differential.ml holds that
+   line against the naive float-array-array oracle. *)
 let rref_dense ?(tol = default_tol) m =
   Obs.Metrics.incr c_dense;
   let a = Matrix.copy m in
   let nr = Matrix.rows a and nc = Matrix.cols a in
+  let d = Matrix.buffer a in
   let scale = max 1.0 (Matrix.max_abs a) in
   let threshold = tol *. scale in
   let pivots = ref [] in
@@ -19,35 +27,38 @@ let rref_dense ?(tol = default_tol) m =
     (* Partial pivoting: bring the largest entry of column !j (rows >= !r)
        to the pivot position. *)
     let best = ref !r in
+    let best_abs = ref (abs_float (Array.unsafe_get d ((!r * nc) + !j))) in
     for i = !r + 1 to nr - 1 do
-      if abs_float (Matrix.get a i !j) > abs_float (Matrix.get a !best !j)
-      then best := i
+      let v = abs_float (Array.unsafe_get d ((i * nc) + !j)) in
+      if v > !best_abs then begin
+        best := i;
+        best_abs := v
+      end
     done;
-    if abs_float (Matrix.get a !best !j) <= threshold then begin
+    if !best_abs <= threshold then begin
       (* Numerically zero column below row !r: clean it and move on. *)
       for i = !r to nr - 1 do
-        Matrix.set a i !j 0.0
+        Array.unsafe_set d ((i * nc) + !j) 0.0
       done;
       incr j
     end
     else begin
-      if !best <> !r then
-        for k = 0 to nc - 1 do
-          let tmp = Matrix.get a !r k in
-          Matrix.set a !r k (Matrix.get a !best k);
-          Matrix.set a !best k tmp
-        done;
-      let pivot = Matrix.get a !r !j in
+      Matrix.swap_rows a !r !best;
+      let rbase = !r * nc in
+      let pivot = Array.unsafe_get d (rbase + !j) in
       for k = 0 to nc - 1 do
-        Matrix.set a !r k (Matrix.get a !r k /. pivot)
+        Array.unsafe_set d (rbase + k)
+          (Array.unsafe_get d (rbase + k) /. pivot)
       done;
       for i = 0 to nr - 1 do
         if i <> !r then begin
-          let factor = Matrix.get a i !j in
+          let ibase = i * nc in
+          let factor = Array.unsafe_get d (ibase + !j) in
           if factor <> 0.0 then
             for k = 0 to nc - 1 do
-              Matrix.set a i k
-                (Matrix.get a i k -. (factor *. Matrix.get a !r k))
+              Array.unsafe_set d (ibase + k)
+                (Array.unsafe_get d (ibase + k)
+                -. (factor *. Array.unsafe_get d (rbase + k)))
             done
         end
       done;

@@ -16,14 +16,26 @@ let init r c f =
 
 let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
 
+(* Diagnostics in the same [file:line: message] shape as the
+   Observations_io loaders, so a bad fixture names its rejection site. *)
+let fail_at (file, line, _, _) msg =
+  invalid_arg (Printf.sprintf "%s:%d: %s" file line msg)
+
 let of_rows rows_arr =
   let r = Array.length rows_arr in
-  if r = 0 then invalid_arg "Matrix.of_rows: no rows";
+  if r = 0 then
+    fail_at __POS__
+      "Matrix.of_rows: empty row array — the column count cannot be \
+       inferred (use Matrix.make 0 c for a 0-row matrix)";
   let c = Array.length rows_arr.(0) in
-  Array.iter
-    (fun row ->
+  Array.iteri
+    (fun i row ->
       if Array.length row <> c then
-        invalid_arg "Matrix.of_rows: ragged rows")
+        fail_at __POS__
+          (Printf.sprintf
+             "Matrix.of_rows: ragged rows — row %d has %d columns, row 0 \
+              has %d"
+             i (Array.length row) c))
     rows_arr;
   init r c (fun i j -> rows_arr.(i).(j))
 
@@ -46,6 +58,32 @@ let unsafe_get m i j = Array.unsafe_get m.data ((i * m.c) + j)
 let unsafe_set m i j x = Array.unsafe_set m.data ((i * m.c) + j) x
 
 let copy m = { m with data = Array.copy m.data }
+
+(* Flat-memory access: rows live contiguously at stride [cols m] inside
+   one unboxed float array, so a "row view" is just (buffer, offset) —
+   O(1), no copy, aliasing the matrix.  Kernels (Gauss, CGLS, the
+   differential harness) fetch [buffer] once and index rows by
+   [row_base]; mutating through the buffer mutates the matrix. *)
+let buffer m = m.data
+let stride m = m.c
+
+let row_base m i =
+  if i < 0 || i >= m.r then invalid_arg "Matrix.row_base: out of range";
+  i * m.c
+
+let row_view m i = (m.data, row_base m i)
+
+let swap_rows m i j =
+  if i < 0 || i >= m.r || j < 0 || j >= m.r then
+    invalid_arg "Matrix.swap_rows: out of range";
+  if i <> j then begin
+    let a = i * m.c and b = j * m.c in
+    for k = 0 to m.c - 1 do
+      let tmp = Array.unsafe_get m.data (a + k) in
+      Array.unsafe_set m.data (a + k) (Array.unsafe_get m.data (b + k));
+      Array.unsafe_set m.data (b + k) tmp
+    done
+  end
 
 let row m i =
   if i < 0 || i >= m.r then invalid_arg "Matrix.row: out of range";

@@ -3,9 +3,10 @@
     This is the numeric substrate for the tomography equation systems:
     0/1 incidence matrices of path sets vs. correlation subsets, their
     null spaces, and the least-squares solves that recover log
-    good-probabilities.  Dimensions in this reproduction are at most a few
-    thousand, so a straightforward dense representation is both simpler
-    and fast enough. *)
+    good-probabilities.  Storage is a single unboxed [float array] in
+    row-major order (see the {e Flat-memory access} section below), so
+    row traversals stream contiguous memory and kernels can take O(1)
+    aliasing row views instead of copying. *)
 
 type t
 
@@ -20,7 +21,8 @@ val identity : int -> t
 
 (** [of_rows rows] builds a matrix from row vectors.
     @raise Invalid_argument if rows have unequal lengths or there are no
-    rows. *)
+    rows; the message carries a [file:line:] prefix naming the rejection
+    site (the same shape as the {!Observations_io} loader errors). *)
 val of_rows : float array array -> t
 
 (** [to_rows m] is the matrix as an array of fresh row arrays. *)
@@ -44,6 +46,33 @@ val unsafe_set : t -> int -> int -> float -> unit
 
 (** [copy m] is a deep copy. *)
 val copy : t -> t
+
+(** {2 Flat-memory access}
+
+    Storage is one unboxed [float array] in row-major order with stride
+    [cols m]: entry [(i, j)] lives at index [i * cols m + j] of
+    {!buffer}.  A row view is therefore just an offset into the shared
+    buffer — O(1) to obtain, never copied, and {e aliasing}: writes
+    through the buffer are visible in the matrix and vice versa.
+    Kernels that hold a view across calls must not interleave it with
+    operations that reallocate (none of the in-place operations do). *)
+
+(** [buffer m] is the underlying flat storage (aliasing, not a copy). *)
+val buffer : t -> float array
+
+(** [stride m] is the row stride of {!buffer}, equal to [cols m]. *)
+val stride : t -> int
+
+(** [row_base m i] is the index of entry [(i, 0)] in {!buffer}. *)
+val row_base : t -> int -> int
+
+(** [row_view m i] is [(buffer m, row_base m i)]: an O(1) aliasing view
+    of row [i].  Mutations through the returned buffer are visible in
+    [m]; use {!row} for a fresh copy. *)
+val row_view : t -> int -> float array * int
+
+(** [swap_rows m i j] swaps two rows in place. *)
+val swap_rows : t -> int -> int -> unit
 
 (** [row m i] is a fresh copy of row [i]. *)
 val row : t -> int -> float array

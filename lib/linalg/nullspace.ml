@@ -275,14 +275,20 @@ let draw_witness_g ~dim ~columns c =
   done;
   g
 
+(* Column storage is one flat unboxed block: logical column [k] is the
+   [nvars]-float slice of [colbuf] starting at [col_off.(k)].  Dropping
+   a column is an O(p) shuffle of offsets (the freed slice parks at the
+   tail for reuse), and the elimination loops stream contiguous floats
+   instead of chasing one boxed array per column. *)
 type tracker = {
   nvars : int;
   tol : float;
   wtol : float; (* witness-dot rejection threshold, ≪ tol *)
   mutable p : int;
-  cols : float array array; (* cols.(0..p-1), each of length nvars *)
+  colbuf : float array; (* flat column block, nvars · initial-p floats *)
+  col_off : int array; (* col_off.(0..p-1): base offset of column k *)
   v : float array; (* scratch for r · N, length nvars *)
-  weights : int array; (* weights.(i) = #{k | |cols.(k).(i)| > tol} *)
+  weights : int array; (* weights.(i) = #{k | |col k at row i| > tol} *)
   idx : int array; (* scratch: nonzero rows of the pivot column *)
   wit_u : float array array; (* wit_u.(c) = N · wit_g.(c), length nvars *)
   wit_g : float array array; (* coefficients, first [p] entries live *)
@@ -291,11 +297,12 @@ type tracker = {
 
 let default_witness_tol_factor = 1e-4
 
-let make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~cols ~weights =
+let make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~colbuf ~weights =
   let k = match witness_k with Some k -> min (max 0 k) 16 | None -> !default_k in
   let wtol =
     match witness_tol with Some w -> w | None -> tol *. default_witness_tol_factor
   in
+  let col_off = Array.init (max 1 p) (fun k -> k * nvars) in
   let wit_g = Array.init k (fun c -> draw_witness_g ~dim:nvars ~columns:p c) in
   let wit_u =
     Array.init k (fun c ->
@@ -304,7 +311,7 @@ let make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~cols ~weights =
         for i = 0 to nvars - 1 do
           let acc = ref 0.0 in
           for kk = 0 to p - 1 do
-            acc := !acc +. (g.(kk) *. cols.(kk).(i))
+            acc := !acc +. (g.(kk) *. colbuf.((kk * nvars) + i))
           done;
           u.(i) <- !acc
         done;
@@ -315,7 +322,8 @@ let make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~cols ~weights =
     tol;
     wtol;
     p;
-    cols;
+    colbuf;
+    col_off;
     v = Array.make (max 1 (max p nvars)) 0.0;
     weights;
     idx = Array.make (max 1 nvars) 0;
@@ -326,27 +334,30 @@ let make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~cols ~weights =
 
 let tracker ?(tol = default_tol) ?witness_k ?witness_tol nvars =
   if nvars < 0 then invalid_arg "Nullspace.tracker: negative dimension";
-  let cols =
-    Array.init nvars (fun k ->
-        let c = Array.make nvars 0.0 in
-        c.(k) <- 1.0;
-        c)
-  in
+  let colbuf = Array.make (max 1 (nvars * nvars)) 0.0 in
+  for k = 0 to nvars - 1 do
+    colbuf.((k * nvars) + k) <- 1.0
+  done;
   let weights = Array.make nvars (if 1.0 > tol then 1 else 0) in
-  make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p:nvars ~cols ~weights
+  make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p:nvars ~colbuf ~weights
 
 let tracker_of_matrix ?(tol = default_tol) ?witness_k ?witness_tol m =
   let nvars = Matrix.rows m and p = Matrix.cols m in
-  let cols = Array.init p (fun k -> Array.init nvars (fun i -> Matrix.get m i k)) in
+  let colbuf = Array.make (max 1 (p * nvars)) 0.0 in
+  for k = 0 to p - 1 do
+    for i = 0 to nvars - 1 do
+      colbuf.((k * nvars) + i) <- Matrix.get m i k
+    done
+  done;
   let weights = Array.make nvars 0 in
   for i = 0 to nvars - 1 do
     let w = ref 0 in
     for k = 0 to p - 1 do
-      if abs_float cols.(k).(i) > tol then incr w
+      if abs_float colbuf.((k * nvars) + i) > tol then incr w
     done;
     weights.(i) <- !w
   done;
-  make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~cols ~weights
+  make_tracker ~tol ~witness_k ~witness_tol ~nvars ~p ~colbuf ~weights
 
 let witness_count t = Array.length t.wit_u
 
@@ -360,7 +371,7 @@ let witness_defect t =
     for i = 0 to t.nvars - 1 do
       let acc = ref 0.0 in
       for k = 0 to t.p - 1 do
-        acc := !acc +. (g.(k) *. t.cols.(k).(i))
+        acc := !acc +. (g.(k) *. t.colbuf.(t.col_off.(k) + i))
       done;
       let d = abs_float (!acc -. u.(i)) in
       if d > !worst then worst := d
@@ -382,11 +393,12 @@ let eliminate_in_place t j =
   let p = t.p and nvars = t.nvars and tol = t.tol in
   let v = t.v in
   let pivot = v.(j) in
-  let nj = t.cols.(j) in
+  let buf = t.colbuf in
+  let nj = t.col_off.(j) in
   let idx = t.idx in
   let nnz = ref 0 in
   for i = 0 to nvars - 1 do
-    let x = Array.unsafe_get nj i in
+    let x = Array.unsafe_get buf (nj + i) in
     if x <> 0.0 then begin
       Array.unsafe_set idx !nnz i;
       incr nnz
@@ -405,7 +417,7 @@ let eliminate_in_place t j =
       for m = 0 to nnz - 1 do
         let i = Array.unsafe_get idx m in
         Array.unsafe_set u i
-          (Array.unsafe_get u i -. (coeff *. Array.unsafe_get nj i))
+          (Array.unsafe_get u i -. (coeff *. Array.unsafe_get buf (nj + i)))
       done
     end;
     (* Drop the consumed coefficient, keeping [wit_g] parallel to
@@ -420,13 +432,15 @@ let eliminate_in_place t j =
     if k <> j then begin
       let coeff = Array.unsafe_get v k /. pivot in
       if coeff <> 0.0 then begin
-        let ck = t.cols.(k) in
+        let ck = t.col_off.(k) in
         if sparse then
           for m = 0 to nnz - 1 do
             let i = Array.unsafe_get idx m in
-            let old_v = Array.unsafe_get ck i in
-            let new_v = old_v -. (coeff *. Array.unsafe_get nj i) in
-            Array.unsafe_set ck i new_v;
+            let old_v = Array.unsafe_get buf (ck + i) in
+            let new_v =
+              old_v -. (coeff *. Array.unsafe_get buf (nj + i))
+            in
+            Array.unsafe_set buf (ck + i) new_v;
             let was_nz = abs_float old_v > tol
             and is_nz = abs_float new_v > tol in
             if was_nz && not is_nz then t.weights.(i) <- t.weights.(i) - 1
@@ -435,9 +449,11 @@ let eliminate_in_place t j =
           done
         else
           for i = 0 to nvars - 1 do
-            let old_v = Array.unsafe_get ck i in
-            let new_v = old_v -. (coeff *. Array.unsafe_get nj i) in
-            Array.unsafe_set ck i new_v;
+            let old_v = Array.unsafe_get buf (ck + i) in
+            let new_v =
+              old_v -. (coeff *. Array.unsafe_get buf (nj + i))
+            in
+            Array.unsafe_set buf (ck + i) new_v;
             let was_nz = abs_float old_v > tol
             and is_nz = abs_float new_v > tol in
             if was_nz && not is_nz then t.weights.(i) <- t.weights.(i) - 1
@@ -449,11 +465,12 @@ let eliminate_in_place t j =
   done;
   (* Drop the consumed pivot column, preserving the order of the rest
      (the functional API keeps order too, so both paths yield the same
-     basis).  The freed buffer parks at the tail for potential reuse. *)
+     basis).  Only offsets move — no floats are copied; the freed slice
+     parks at the tail for potential reuse. *)
   for k = j to p - 2 do
-    t.cols.(k) <- t.cols.(k + 1)
+    t.col_off.(k) <- t.col_off.(k + 1)
   done;
-  t.cols.(p - 1) <- nj;
+  t.col_off.(p - 1) <- nj;
   t.p <- p - 1
 
 (* The O(k · nnz) fast path: every witness dot within [wtol] ⇒ reject
@@ -501,10 +518,12 @@ let add_incidence t idxs =
   else begin
     let v = t.v in
     Array.fill v 0 p 0.0;
+    let buf = t.colbuf and off = t.col_off in
     Array.iter
       (fun i ->
         for k = 0 to p - 1 do
-          v.(k) <- v.(k) +. Array.unsafe_get t.cols.(k) i
+          v.(k) <-
+            v.(k) +. Array.unsafe_get buf (Array.unsafe_get off k + i)
         done)
       idxs;
     match pick_pivot ~tol:t.tol v p with
@@ -528,11 +547,13 @@ let add_row t r =
   else if witness_rejects t ~nnz:t.nvars (dense_dot ~n:t.nvars r) then false
   else begin
     let v = t.v in
+    let buf = t.colbuf in
     for k = 0 to p - 1 do
-      let ck = t.cols.(k) in
+      let ck = t.col_off.(k) in
       let acc = ref 0.0 in
       for i = 0 to t.nvars - 1 do
-        acc := !acc +. (Array.unsafe_get r i *. Array.unsafe_get ck i)
+        acc :=
+          !acc +. (Array.unsafe_get r i *. Array.unsafe_get buf (ck + i))
       done;
       v.(k) <- !acc
     done;
@@ -543,4 +564,5 @@ let add_row t r =
         true
   end
 
-let to_matrix t = Matrix.init t.nvars t.p (fun i k -> t.cols.(k).(i))
+let to_matrix t =
+  Matrix.init t.nvars t.p (fun i k -> t.colbuf.(t.col_off.(k) + i))

@@ -5,13 +5,30 @@ type row = {
   mutable cursor : int; (* resume point for [probe_mono]; see below *)
 }
 
-type t = { r : int; c : int; rows : row array }
+type t = {
+  r : int;
+  c : int;
+  rows : row array;
+  (* Merge scratch for [sub_scaled_row], grown on demand and recycled
+     by pointer swap with the destination row, so the elimination inner
+     loop allocates nothing once the buffers have warmed up.  Per
+     matrix, like every other mutation right: a [t] is only ever
+     mutated from one domain. *)
+  mutable sc : int array;
+  mutable sv : float array;
+}
 
 let empty_row () = { nnz = 0; cols = [||]; vals = [||]; cursor = 0 }
 
 let create r c =
   if r < 0 || c < 0 then invalid_arg "Sparse.create: negative dimension";
-  { r; c; rows = Array.init r (fun _ -> empty_row ()) }
+  {
+    r;
+    c;
+    rows = Array.init r (fun _ -> empty_row ());
+    sc = [||];
+    sv = [||];
+  }
 
 let rows a = a.r
 let cols a = a.c
@@ -94,6 +111,10 @@ let copy a =
             cursor = 0;
           })
         a.rows;
+    (* Private scratch: sharing the merge buffers across copies would
+       let two matrices on two domains race on them. *)
+    sc = [||];
+    sv = [||];
   }
 
 (* Index of column [j] in the live prefix of [row], or -1.  The range
@@ -176,6 +197,40 @@ let row_view a i =
   let row = a.rows.(i) in
   (row.cols, row.vals, row.nnz)
 
+(* ------------------------------------------------------------------ *)
+(* Frozen flat CSR snapshot                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The mutable per-row representation above is what elimination needs
+   (O(1) row swaps, fill-in per row); iteration-heavy read-only kernels
+   (CGLS runs hundreds of passes over an unchanging system) want the
+   classic flat CSR instead: all columns and values packed into two
+   contiguous unboxed arrays, rows delimited by [row_ptr].  One pointer
+   chase per *solve* instead of two per *row per iteration*, and the
+   inner loops stream cache-line-adjacent memory. *)
+type csr = {
+  csr_rows : int;
+  csr_cols : int;
+  row_ptr : int array; (* length csr_rows + 1 *)
+  col_idx : int array; (* length nnz, row-major, per-row ascending *)
+  values : float array; (* parallel to col_idx *)
+}
+
+let to_csr a =
+  let row_ptr = Array.make (a.r + 1) 0 in
+  for i = 0 to a.r - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + a.rows.(i).nnz
+  done;
+  let n = row_ptr.(a.r) in
+  let col_idx = Array.make (max 1 n) 0 in
+  let values = Array.make (max 1 n) 0.0 in
+  for i = 0 to a.r - 1 do
+    let row = a.rows.(i) in
+    Array.blit row.cols 0 col_idx row_ptr.(i) row.nnz;
+    Array.blit row.vals 0 values row_ptr.(i) row.nnz
+  done;
+  { csr_rows = a.r; csr_cols = a.c; row_ptr; col_idx; values }
+
 let swap_rows a i j =
   if i < 0 || i >= a.r || j < 0 || j >= a.r then
     invalid_arg "Sparse.swap_rows: out of range";
@@ -221,7 +276,15 @@ let sub_scaled_row a ~dst ~src ~coeff =
   if dst = src then invalid_arg "Sparse.sub_scaled_row: dst = src";
   let d = a.rows.(dst) and s = a.rows.(src) in
   let cap = d.nnz + s.nnz in
-  let oc = Array.make (max 1 cap) 0 and ov = Array.make (max 1 cap) 0.0 in
+  (* Merge into the matrix scratch, then swap buffers with the
+     destination row: zero allocation per call once the scratch has
+     grown to the working fill level. *)
+  if Array.length a.sc < cap then begin
+    let grown = max cap (max 8 (2 * Array.length a.sc)) in
+    a.sc <- Array.make grown 0;
+    a.sv <- Array.make grown 0.0
+  end;
+  let oc = a.sc and ov = a.sv in
   let di = ref 0 and si = ref 0 and o = ref 0 in
   let push c v =
     if v <> 0.0 then begin
@@ -259,6 +322,8 @@ let sub_scaled_row a ~dst ~src ~coeff =
       (0.0 -. (coeff *. Array.unsafe_get s.vals !si));
     incr si
   done;
+  a.sc <- d.cols;
+  a.sv <- d.vals;
   d.cols <- oc;
   d.vals <- ov;
   d.nnz <- !o;

@@ -70,6 +70,28 @@ val probe_mono : t -> int -> int -> float
     loop. *)
 val row_view : t -> int -> int array * float array * int
 
+(** {1 Frozen flat CSR snapshot}
+
+    Read-only kernels that sweep an unchanging system many times (CGLS
+    runs hundreds of A·v / Aᵀ·w passes per solve) want the classic flat
+    CSR layout: every stored column and value packed into two contiguous
+    unboxed arrays, rows delimited by [row_ptr].  The snapshot is
+    decoupled from the mutable matrix — later mutations of [t] do not
+    show through. *)
+type csr = private {
+  csr_rows : int;
+  csr_cols : int;
+  row_ptr : int array;  (** length [csr_rows + 1]; row [i] occupies
+                            [row_ptr.(i) .. row_ptr.(i+1) - 1] *)
+  col_idx : int array;  (** row-major column indices, per-row ascending *)
+  values : float array;  (** parallel to [col_idx] *)
+}
+
+(** [to_csr a] snapshots [a] into flat CSR form.  Per-row entry order is
+    preserved, so kernels that switch from {!row_view} loops to the flat
+    arrays perform the identical floating-point operation sequence. *)
+val to_csr : t -> csr
+
 (** [swap_rows a i j] exchanges two rows in place, O(1). *)
 val swap_rows : t -> int -> int -> unit
 
@@ -88,7 +110,8 @@ val div_row : t -> int -> float -> unit
     structures.  The arithmetic on stored entries is exactly the dense
     kernel's [x −. (coeff ·. y)], so results are bit-identical to the
     dense path (entries the dense code leaves untouched are zeros on both
-    sides). *)
+    sides).  The merge runs through a per-matrix scratch buffer recycled
+    by pointer swap, so steady-state elimination allocates nothing. *)
 val sub_scaled_row : t -> dst:int -> src:int -> coeff:float -> unit
 
 (** [drop_col_entries a j ~from_row] removes the column-[j] entry of every

@@ -111,7 +111,9 @@ let run ~scenario ~dynamics ~measurement ~t_intervals ~rng =
   let path_good = Array.init n_paths (fun _ -> Bitset.create t_intervals) in
   Array.iteri
     (fun t (_, good) ->
-      Bitset.iter (fun p -> Bitset.set path_good.(p) t) good)
+      (* [iter] walks set bits word-by-word; [p] comes straight from the
+         column so the per-write bounds check is redundant. *)
+      Bitset.iter (fun p -> Bitset.unsafe_set path_good.(p) t) good)
     columns;
   { overlay = ov; t_intervals; link_congested; path_good; epochs }
 

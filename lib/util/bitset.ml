@@ -1,6 +1,7 @@
 type t = { len : int; words : int array }
 
 let bits_per_word = Sys.int_size
+let word_bits = bits_per_word
 
 let create len =
   if len < 0 then invalid_arg "Bitset.create: negative capacity";
@@ -28,6 +29,17 @@ let get t i =
   let w = i / bits_per_word and b = i mod bits_per_word in
   t.words.(w) land (1 lsl b) <> 0
 
+(* Unchecked variants for inner loops whose indices are validated once
+   outside the loop (the netsim transpose sets one bit per set path per
+   interval; the bounds are pinned by construction). *)
+let unsafe_set t i =
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  Array.unsafe_set t.words w (Array.unsafe_get t.words w lor (1 lsl b))
+
+let unsafe_get t i =
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  Array.unsafe_get t.words w land (1 lsl b) <> 0
+
 (* Bits beyond [len] in the last word must stay zero so that [count],
    [equal] and friends can work word-wise. [mask_tail] re-establishes that
    invariant after whole-word operations such as [set_all]. *)
@@ -38,6 +50,16 @@ let mask_tail t =
     t.words.(last) <- t.words.(last) land ((1 lsl r) - 1)
   end
 
+(* Testing hook: true iff the tail invariant holds.  Every exported
+   operation must preserve it; the word-level ops rely on both operands
+   satisfying it (e.g. [union_into] never revives a tail bit because
+   neither side has one set). *)
+let invariant t =
+  let r = t.len mod bits_per_word in
+  r = 0
+  || Array.length t.words = 0
+  || t.words.(Array.length t.words - 1) land lnot ((1 lsl r) - 1) = 0
+
 let set_all t =
   Array.fill t.words 0 (Array.length t.words) (-1);
   mask_tail t
@@ -45,11 +67,29 @@ let set_all t =
 let clear_all t = Array.fill t.words 0 (Array.length t.words) 0
 let copy t = { len = t.len; words = Array.copy t.words }
 
-let popcount x =
-  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
-  go 0 x
+(* SWAR popcount over the two 32-bit halves of a word: ~a dozen
+   straight-line integer ops, against up to [bits_per_word] iterations of
+   the classic clear-lowest-bit loop on dense words (interval-status rows
+   are mostly ones under low congestion). *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* OCaml ints are 63-bit, so the multiply does not truncate at 32 bits
+     the way the classic C idiom assumes — mask the byte-sum out
+     explicitly or the carried high bytes leak into the count. *)
+  (x * 0x01010101) lsr 24 land 0xFF
 
-let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+let popcount x =
+  popcount32 (x land 0xFFFFFFFF) + popcount32 ((x lsr 32) land 0x7FFFFFFF)
+
+let count t =
+  let acc = ref 0 in
+  for i = 0 to Array.length t.words - 1 do
+    acc := !acc + popcount (Array.unsafe_get t.words i)
+  done;
+  !acc
+
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let equal a b =
@@ -64,22 +104,29 @@ let equal a b =
 let check_same a b =
   if a.len <> b.len then invalid_arg "Bitset: capacity mismatch"
 
+let copy_into ~into src =
+  check_same into src;
+  Array.blit src.words 0 into.words 0 (Array.length src.words)
+
 let inter_into ~into src =
   check_same into src;
   for i = 0 to Array.length into.words - 1 do
-    into.words.(i) <- into.words.(i) land src.words.(i)
+    Array.unsafe_set into.words i
+      (Array.unsafe_get into.words i land Array.unsafe_get src.words i)
   done
 
 let union_into ~into src =
   check_same into src;
   for i = 0 to Array.length into.words - 1 do
-    into.words.(i) <- into.words.(i) lor src.words.(i)
+    Array.unsafe_set into.words i
+      (Array.unsafe_get into.words i lor Array.unsafe_get src.words i)
   done
 
 let diff_into ~into src =
   check_same into src;
   for i = 0 to Array.length into.words - 1 do
-    into.words.(i) <- into.words.(i) land lnot src.words.(i)
+    Array.unsafe_set into.words i
+      (Array.unsafe_get into.words i land lnot (Array.unsafe_get src.words i))
   done
 
 let inter a b =
@@ -101,7 +148,9 @@ let count_inter a b =
   check_same a b;
   let acc = ref 0 in
   for i = 0 to Array.length a.words - 1 do
-    acc := !acc + popcount (a.words.(i) land b.words.(i))
+    acc :=
+      !acc
+      + popcount (Array.unsafe_get a.words i land Array.unsafe_get b.words i)
   done;
   !acc
 
@@ -121,13 +170,37 @@ let subset a b =
   in
   go 0
 
-let iter f t =
+(* Word-level iterators: the raw packed words, for hot loops (the netsim
+   transpose, bulk statistics) that want one visit per word rather than
+   one per bit.  The tail word of a partial last block carries the
+   invariant above — its bits past [length] are zero. *)
+let iter_words f t =
   for w = 0 to Array.length t.words - 1 do
-    let word = t.words.(w) in
-    if word <> 0 then
-      for b = 0 to bits_per_word - 1 do
-        if word land (1 lsl b) <> 0 then f ((w * bits_per_word) + b)
+    f w (Array.unsafe_get t.words w)
+  done
+
+let fold_words f init t =
+  let acc = ref init in
+  for w = 0 to Array.length t.words - 1 do
+    acc := f !acc w (Array.unsafe_get t.words w)
+  done;
+  !acc
+
+(* Per set bit: isolate the lowest one ([x land (-x)]) and recover its
+   index as popcount(bit − 1) — all-ones below a power of two.  Cost is
+   proportional to the number of set bits, not the capacity. *)
+let iter f t =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let x = ref (Array.unsafe_get words w) in
+    if !x <> 0 then begin
+      let base = w * bits_per_word in
+      while !x <> 0 do
+        let b = !x land - !x in
+        f (base + popcount (b - 1));
+        x := !x lxor b
       done
+    end
   done
 
 let fold f init t =

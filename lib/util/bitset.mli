@@ -25,6 +25,14 @@ val assign : t -> int -> bool -> unit
 (** [get t i] is the value of bit [i]. *)
 val get : t -> int -> bool
 
+(** [unsafe_set t i] / [unsafe_get t i]: bit access with no bounds
+    check, for inner-loop kernels whose indices are validated once
+    outside the loop (e.g. the netsim column→row transpose).
+    Out-of-range indices are undefined behaviour. *)
+val unsafe_set : t -> int -> unit
+
+val unsafe_get : t -> int -> bool
+
 (** [set_all t] sets every bit. *)
 val set_all : t -> unit
 
@@ -43,6 +51,11 @@ val is_empty : t -> bool
 (** [equal a b] is [true] iff [a] and [b] have the same capacity and the
     same bits set. *)
 val equal : t -> t -> bool
+
+(** [copy_into ~into src] overwrites [into] with the bits of [src]
+    without allocating (a word-level blit).
+    @raise Invalid_argument if capacities differ. *)
+val copy_into : into:t -> t -> unit
 
 (** [inter_into ~into src] replaces [into] with [into ∧ src].
     @raise Invalid_argument if capacities differ. *)
@@ -75,8 +88,28 @@ val disjoint : t -> t -> bool
 val subset : t -> t -> bool
 
 (** [iter f t] applies [f] to the index of every set bit, in increasing
-    order. *)
+    order.  Cost is proportional to the number of words plus the number
+    of set bits (lowest-set-bit extraction), not to the capacity. *)
 val iter : (int -> unit) -> t -> unit
+
+(** [iter_words f t] applies [f w word] to every packed word in index
+    order, including zero words.  Bit [b] of word [w] is bit
+    [w * word_bits + b] of the set; bits at or beyond [length t] in the
+    last word are always zero (the tail invariant). *)
+val iter_words : (int -> int -> unit) -> t -> unit
+
+(** [fold_words f init t] folds [f acc w word] over the packed words in
+    index order (same conventions as {!iter_words}). *)
+val fold_words : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+
+(** [word_bits] is the number of bits per packed word ([Sys.int_size]). *)
+val word_bits : int
+
+(** [invariant t] is [true] iff the internal tail invariant holds: every
+    bit at index ≥ [length t] in the last packed word is zero.  Exposed
+    for the property-test battery; every exported operation preserves
+    it. *)
+val invariant : t -> bool
 
 (** [fold f init t] folds [f] over the indices of set bits in increasing
     order. *)

@@ -69,6 +69,65 @@ let test_matrix_drop_swap () =
   check_int "dropped cols" 2 (Matrix.cols d);
   checkf "drop keeps order" 1.0 (Matrix.get d 0 1)
 
+(* ---- Flat-storage edge cases ---- *)
+
+let test_matrix_degenerate_shapes () =
+  let z = Matrix.make 0 5 0.0 in
+  check_int "0-row rows" 0 (Matrix.rows z);
+  check_int "0-row cols" 5 (Matrix.cols z);
+  check_bool "0-row to_rows" true (Matrix.to_rows z = [||]);
+  let n = Matrix.make 3 0 0.0 in
+  check_int "0-col rows" 3 (Matrix.rows n);
+  check_bool "0-col row is empty" true (Matrix.row n 1 = [||]);
+  checkf "0-col max_abs" 0.0 (Matrix.max_abs n);
+  let one = Matrix.make 1 1 7.5 in
+  checkf "1x1 get" 7.5 (Matrix.get one 0 0);
+  let buf, off = Matrix.row_view one 0 in
+  checkf "1x1 row view" 7.5 buf.(off);
+  check_int "1x1 stride" 1 (Matrix.stride one)
+
+let test_matrix_row_view_aliases () =
+  let m = Matrix.init 3 4 (fun i j -> float_of_int ((10 * i) + j)) in
+  (* A row view is the live buffer: writes through it are visible in the
+     parent... *)
+  let buf, off = Matrix.row_view m 1 in
+  check_int "row base" off (Matrix.row_base m 1);
+  buf.(off + 2) <- 99.0;
+  checkf "write through view visible" 99.0 (Matrix.get m 1 2);
+  check_bool "buffer is the storage" true (buf == Matrix.buffer m);
+  (* ...whereas [row] / [to_rows] hand out copies. *)
+  let r = Matrix.row m 1 in
+  r.(0) <- -1.0;
+  checkf "row copy does not alias" 10.0 (Matrix.get m 1 0);
+  (Matrix.to_rows m).(0).(0) <- -1.0;
+  checkf "to_rows does not alias" 0.0 (Matrix.get m 0 0)
+
+let check_invalid_arg_with name needles f =
+  match f () with
+  | exception Invalid_argument msg ->
+      List.iter
+        (fun needle ->
+          let found =
+            let nl = String.length needle and ml = String.length msg in
+            let rec go i =
+              i + nl <= ml && (String.sub msg i nl = needle || go (i + 1))
+            in
+            go 0
+          in
+          check_bool (name ^ ": mentions " ^ needle) true found)
+        needles
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_matrix_of_rows_rejections () =
+  (* Both rejections carry a [file:line:] prefix naming the check site,
+     matching the Observations_io loader style. *)
+  check_invalid_arg_with "empty"
+    [ "matrix.ml:"; "empty row array"; "Matrix.make 0 c" ]
+    (fun () -> Matrix.of_rows [||]);
+  check_invalid_arg_with "ragged"
+    [ "matrix.ml:"; "ragged rows"; "row 1 has 3 columns, row 0 has 2" ]
+    (fun () -> Matrix.of_rows [| [| 1.; 2. |]; [| 1.; 2.; 3. |] |])
+
 let prop_transpose_involution =
   QCheck.Test.make ~name:"transpose is an involution" ~count:50
     QCheck.(pair (int_range 1 12) (int_range 1 12))
@@ -873,6 +932,12 @@ let () =
           Alcotest.test_case "transpose" `Quick test_matrix_transpose;
           Alcotest.test_case "swap/drop columns" `Quick
             test_matrix_drop_swap;
+          Alcotest.test_case "degenerate shapes" `Quick
+            test_matrix_degenerate_shapes;
+          Alcotest.test_case "row-view aliasing" `Quick
+            test_matrix_row_view_aliases;
+          Alcotest.test_case "of_rows rejections" `Quick
+            test_matrix_of_rows_rejections;
           qc prop_transpose_involution;
           qc prop_mul_identity;
         ] );

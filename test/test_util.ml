@@ -64,6 +64,116 @@ let test_bitset_iteration () =
   Alcotest.(check (list int)) "to_list" [ 3; 77; 150 ] (Bitset.to_list a);
   check_int "fold sum" 230 (Bitset.fold ( + ) 0 a)
 
+(* ---- Flat-word battery ----
+
+   The word-level kernels ([*_into], [copy_into], the word iterators and
+   the packed [iter]/[count]) all rely on one storage invariant: bits
+   past [len] in the last word stay zero.  Exercise every operation at
+   the boundary lengths where the tail mask matters — 0, one bit, one
+   word minus one, exactly one word, just past it, and a multi-word
+   set. *)
+
+let boundary_lengths = [ 0; 1; 62; 63; 64; 127; 128; 200 ]
+
+let len_and_lists_gen =
+  QCheck.Gen.(
+    oneofl boundary_lengths >>= fun len ->
+    let idx =
+      if len = 0 then return []
+      else list_size (int_bound 60) (int_bound (len - 1))
+    in
+    pair idx idx >>= fun (a, b) -> return (len, a, b))
+
+let len_and_lists = QCheck.make len_and_lists_gen
+
+let prop_bitset_word_ops_invariant =
+  QCheck.Test.make
+    ~name:"word-level ops preserve the tail invariant at boundary lengths"
+    ~count:300 len_and_lists (fun (len, la, lb) ->
+      let a = Bitset.of_list len la and b = Bitset.of_list len lb in
+      let after op =
+        let t = Bitset.copy a in
+        op t;
+        Bitset.invariant t
+      in
+      Bitset.invariant a
+      && after (fun t -> Bitset.union_into ~into:t b)
+      && after (fun t -> Bitset.inter_into ~into:t b)
+      && after (fun t -> Bitset.diff_into ~into:t b)
+      && after (fun t -> Bitset.copy_into ~into:t b)
+      && after Bitset.set_all
+      && after Bitset.clear_all
+      &&
+      let s = Bitset.copy a in
+      Bitset.set_all s;
+      Bitset.count s = len)
+
+let prop_bitset_inplace_equals_fresh =
+  QCheck.Test.make
+    ~name:"in-place word ops agree with the allocating versions" ~count:300
+    len_and_lists (fun (len, la, lb) ->
+      let a = Bitset.of_list len la and b = Bitset.of_list len lb in
+      let via op_into fresh =
+        let t = Bitset.copy a in
+        op_into t;
+        Bitset.equal t fresh
+      in
+      via (fun t -> Bitset.union_into ~into:t b) (Bitset.union a b)
+      && via (fun t -> Bitset.inter_into ~into:t b) (Bitset.inter a b)
+      && via (fun t -> Bitset.diff_into ~into:t b) (Bitset.diff a b)
+      && via (fun t -> Bitset.copy_into ~into:t b) b
+      && Bitset.count_inter a b = Bitset.count (Bitset.inter a b))
+
+(* Reconstruct the membership list straight from the packed words: the
+   iterators hand over (word index, word) pairs, so any stray tail bit
+   or mis-based word index shows up as a list mismatch. *)
+let bits_of_words t =
+  let acc = ref [] in
+  Bitset.iter_words
+    (fun wi w ->
+      for b = Bitset.word_bits - 1 downto 0 do
+        if (w lsr b) land 1 = 1 then
+          acc := ((wi * Bitset.word_bits) + b) :: !acc
+      done)
+    t;
+  List.sort compare !acc
+
+(* Naive one-bit-at-a-time popcount — the oracle for the SWAR count. *)
+let slow_popcount w =
+  let n = ref 0 in
+  for b = 0 to Sys.int_size - 1 do
+    n := !n + ((w lsr b) land 1)
+  done;
+  !n
+
+let prop_bitset_word_iterators =
+  QCheck.Test.make ~name:"word iterators expose exactly the stored bits"
+    ~count:300 len_and_lists (fun (len, la, _) ->
+      let a = Bitset.of_list len la in
+      bits_of_words a = Bitset.to_list a
+      && Bitset.fold_words (fun acc _ w -> acc + slow_popcount w) 0 a
+         = Bitset.count a)
+
+let prop_bitset_iter_matches_to_list =
+  QCheck.Test.make
+    ~name:"packed iter visits set bits in ascending order" ~count:300
+    len_and_lists (fun (len, la, _) ->
+      let a = Bitset.of_list len la in
+      let acc = ref [] in
+      Bitset.iter (fun i -> acc := i :: !acc) a;
+      List.rev !acc = Bitset.to_list a)
+
+let prop_bitset_unsafe_agrees =
+  QCheck.Test.make ~name:"unsafe_set/unsafe_get agree with checked access"
+    ~count:200 len_and_lists (fun (len, la, _) ->
+      let a = Bitset.of_list len la in
+      let b = Bitset.create len in
+      List.iter (Bitset.unsafe_set b) (List.sort_uniq compare la);
+      Bitset.equal a b
+      && List.for_all
+           (fun i -> Bitset.unsafe_get a i = Bitset.get a i)
+           (List.init len (fun i -> i)))
+
 let bitset_list_gen =
   QCheck.Gen.(list_size (int_bound 40) (int_bound 199))
 
@@ -380,6 +490,11 @@ let () =
           qc prop_bitset_roundtrip;
           qc prop_bitset_demorgan;
           qc prop_bitset_diff_disjoint;
+          qc prop_bitset_word_ops_invariant;
+          qc prop_bitset_inplace_equals_fresh;
+          qc prop_bitset_word_iterators;
+          qc prop_bitset_iter_matches_to_list;
+          qc prop_bitset_unsafe_agrees;
         ] );
       ( "rng",
         [
