@@ -249,6 +249,48 @@ let check_witness_parity () =
          (if ns_equal then "equal" else "diverged")
          (if vars_equal then "equal" else "diverged"))
 
+(* The guarantee the identifiability pruner relies on, checked on the
+   bench workload every run (CI greps for the OK line): the pruned
+   enumeration must be bit-identical to the exhaustive fan-out — every
+   link marginal equal to the last bit, same identifiability flags,
+   same system dimensions.  The pruner only skips subset sizes with a
+   proof of emptiness and charges their would-be visits against the
+   enumeration budget arithmetically; a wrong proof or a budget
+   mismatch would change the estimates and trip this gate. *)
+let check_ident_prune_parity () =
+  let w = Lazy.force fixture in
+  let model = w.W.model and obs = w.W.obs in
+  (* Fire the ambiguity classification once on the bench workload so the
+     [ident_ambiguous_links] counter lands in the JSON snapshot. *)
+  ignore
+    (Tomo.Identifiability.ambiguous_links model
+       ~effective:(Tomo.Subsets.effective_links model obs));
+  let saved = Tomo.Subsets.ident_prune_enabled () in
+  Tomo.Subsets.set_ident_prune true;
+  let on, _ = Tomo.Correlation_complete.compute model obs in
+  Tomo.Subsets.set_ident_prune false;
+  let off, _ = Tomo.Correlation_complete.compute model obs in
+  Tomo.Subsets.set_ident_prune saved;
+  let open Tomo.Pc_result in
+  let marginals_equal =
+    Array.length on.marginals = Array.length off.marginals
+    && Array.for_all2
+         (fun a b -> Int64.bits_of_float a = Int64.bits_of_float b)
+         on.marginals off.marginals
+  in
+  let flags_equal = on.identifiable = off.identifiable in
+  let dims_equal = on.n_rows = off.n_rows && on.n_vars = off.n_vars in
+  if marginals_equal && flags_equal && dims_equal then
+    Format.fprintf ppf "identifiability prune parity: OK@."
+  else
+    failwith
+      (Printf.sprintf
+         "identifiability prune parity: FAILED (marginals %s, flags %s, \
+          dims %s)"
+         (if marginals_equal then "equal" else "diverged")
+         (if flags_equal then "equal" else "diverged")
+         (if dims_equal then "equal" else "diverged"))
+
 (* Wall-clock scaling of the simulation itself on the paper-scale cell
    (Brite default topology, 1000 intervals — the Fig. 4 setting): one
    timed [Run.run] at 1 worker vs 4.  Skip with TOMO_BENCH_SIM=0. *)
@@ -576,6 +618,10 @@ let bench_tests () =
              Tomo.Observations.all_good_count obs some_paths));
       Test.make ~name:"kernel/algorithm1-select"
         (Staged.stage (fun () -> Tomo.Algorithm1.select model obs));
+      (let effective = Tomo.Subsets.effective_links model obs in
+       Test.make ~name:"kernel/identifiability-analysis"
+         (Staged.stage (fun () ->
+              Tomo.Identifiability.analyze model ~effective)));
       Test.make ~name:"kernel/prob-engine-solve"
         (Staged.stage (fun () -> Tomo.Prob_engine.solve selection obs));
       Test.make ~name:"kernel/nullspace-update-alg2"
@@ -812,6 +858,7 @@ let () =
   check_sparse_parity ();
   check_sim_parity ();
   check_witness_parity ();
+  check_ident_prune_parity ();
   if enabled "TOMO_BENCH_FIGURES" then reproduction_pass ();
   let pipeline_snapshot = Tomo_obs.Metrics.snapshot () in
   Tomo_obs.Metrics.set_enabled metrics_were_enabled;

@@ -94,6 +94,18 @@ let metrics_out_arg =
            to $(docv) (\"-\" for stdout; same as TOMO_METRICS_OUT). \
            Written atomically, and periodically with --flush-every.")
 
+let ident_prune_arg =
+  Arg.(
+    value
+    & opt (some bool) None
+    & info [ "ident-prune" ] ~docv:"BOOL"
+        ~doc:
+          "Enable or disable the identifiability pruner: subset sizes \
+           proven to contain no inducible correlation subset are \
+           skipped before fanning out combinations (default enabled; \
+           same as TOMO_IDENT_PRUNE). Results are bit-identical either \
+           way — only the work done differs.")
+
 let events_out_arg =
   Arg.(
     value
@@ -108,7 +120,8 @@ let events_out_arg =
    the TOMO_TRACE / TOMO_METRICS_OUT / TOMO_EVENTS_OUT environment) and
    flush them once the command is done.  Events are configured before
    the pool resize so the startup [pool_resize] lands in the log. *)
-let with_obs sparse jobs trace metrics_out events_out f =
+let with_obs ?ident_prune sparse jobs trace metrics_out events_out f =
+  Option.iter Tomo.Subsets.set_ident_prune ident_prune;
   let events_out =
     match events_out with
     | Some p -> Some p
@@ -256,6 +269,25 @@ let run_summary scale seed _seeds =
       Format.fprintf ppf "@.%s topology:@.%a@."
         (Tomo_experiments.Workload.topology_to_string topology)
         Tomo_topology.Overlay.pp_summary w.Tomo_experiments.Workload.overlay)
+    [ Tomo_experiments.Workload.Brite; Tomo_experiments.Workload.Sparse ]
+
+let run_identifiability scale seed _seeds =
+  List.iter
+    (fun topology ->
+      let spec =
+        Tomo_experiments.Workload.spec ~scale ~seed topology
+          Tomo_netsim.Scenario.Random
+      in
+      let model =
+        Tomo_experiments.Workload.model_of_overlay
+          (Tomo_experiments.Workload.generate_overlay spec)
+      in
+      let effective = Tomo.Identifiability.covered_links model in
+      let t = Tomo.Identifiability.analyze model ~effective in
+      Format.fprintf ppf "@.%s topology (scale=%s, seed=%d):@.%a@."
+        (Tomo_experiments.Workload.topology_to_string topology)
+        (Tomo_experiments.Workload.scale_to_string scale)
+        seed Tomo.Identifiability.pp t)
     [ Tomo_experiments.Workload.Brite; Tomo_experiments.Workload.Sparse ]
 
 (* ------------------------------------------------------------------ *)
@@ -974,20 +1006,22 @@ let all scale seed seeds csv =
 let cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds sparse jobs trace mout eout ->
-          with_obs sparse jobs trace mout eout (fun () -> f scale seed seeds))
+      const (fun scale seed seeds sparse jobs ident trace mout eout ->
+          with_obs ?ident_prune:ident sparse jobs trace mout eout (fun () ->
+              f scale seed seeds))
       $ scale_arg $ seed_arg $ seeds_arg $ sparse_threshold_arg $ jobs_arg
-      $ trace_arg $ metrics_out_arg $ events_out_arg)
+      $ ident_prune_arg $ trace_arg $ metrics_out_arg $ events_out_arg)
 
 let cmd_csv name doc f =
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const (fun scale seed seeds csv sparse jobs trace mout eout ->
-          with_obs sparse jobs trace mout eout (fun () ->
+      const (fun scale seed seeds csv sparse jobs ident trace mout eout ->
+          with_obs ?ident_prune:ident sparse jobs trace mout eout (fun () ->
               f scale seed seeds csv))
       $ scale_arg $ seed_arg $ seeds_arg $ csv_arg $ sparse_threshold_arg
-      $ jobs_arg $ trace_arg $ metrics_out_arg $ events_out_arg)
+      $ jobs_arg $ ident_prune_arg $ trace_arg $ metrics_out_arg
+      $ events_out_arg)
 
 let gen_trace_cmd =
   Cmd.v
@@ -1092,6 +1126,10 @@ let () =
       cmd "report" "Operator-facing peer congestion report (§1 scenario)."
         run_report;
       cmd "summary" "Print generated topology statistics." run_summary;
+      cmd "identifiability"
+        "Structural identifiability analysis of the generated topologies: \
+         ambiguous links, per-correlation-set inducible-subset bounds."
+        run_identifiability;
       cmd_csv "all" "Run every figure and table." all;
       table2_cmd;
       gen_trace_cmd;

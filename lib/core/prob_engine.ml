@@ -331,3 +331,6 @@ let pattern_logprob t ~corr ~congested ~good =
 
 let n_rows t = Array.length t.selection.Algorithm1.rows
 let n_vars t = Eqn.n_vars t.selection.Algorithm1.registry
+
+let ambiguous_links t =
+  Identifiability.ambiguous_links (model t) ~effective:(effective t)

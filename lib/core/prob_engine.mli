@@ -102,3 +102,11 @@ val pattern_logprob :
 val n_rows : t -> int
 
 val n_vars : t -> int
+
+(** [ambiguous_links t] is the set of structurally ambiguous effective
+    links of the solved system: links sharing their complete path set
+    with another effective link ({!Identifiability.ambiguous_links}).
+    No estimator — this one included — can attribute congestion to such
+    a link rather than to its class mates, so point estimates for them
+    are not answerable queries. *)
+val ambiguous_links : t -> Tomo_util.Bitset.t

@@ -3,10 +3,25 @@ module Combin = Tomo_util.Combin
 module Obs = Tomo_obs
 
 (* §4 complexity control observability: how many correlation subsets the
-   enumeration produced, and how often a correlation set hit the
-   per-set cap (truncating Ê, which trades completeness for time). *)
+   enumeration produced, how often a correlation set's enumeration was
+   truncated (by the per-set find cap or by the visit budget — either
+   way Ê lost completeness), and how many combination visits the
+   identifiability pruner saved. *)
 let c_enumerated = Obs.Metrics.counter "subsets_enumerated"
 let c_capped = Obs.Metrics.counter "subsets_enumeration_capped"
+let c_pruned = Obs.Metrics.counter "ident_pruned_sets"
+
+(* The identifiability pruner is a pure skip of provably empty work, so
+   it defaults on; TOMO_IDENT_PRUNE=0 (or --ident-prune false) restores
+   the exhaustive fan-out for parity runs. *)
+let ident_prune =
+  ref
+    (match Sys.getenv_opt "TOMO_IDENT_PRUNE" with
+    | Some "0" -> false
+    | _ -> true)
+
+let set_ident_prune b = ident_prune := b
+let ident_prune_enabled () = !ident_prune
 
 type t = { corr : int; links : int array }
 
@@ -57,19 +72,54 @@ let effective_links model obs =
   done;
   eff
 
+(* Both filters sit on the enumeration hot path (once per visited
+   subset via [candidate_paths]); they fill a counted array directly
+   instead of round-tripping through lists. *)
 let effective_corr_set model ~effective c =
-  Array.of_list
-    (List.filter
-       (fun e -> Bitset.get effective e)
-       (Array.to_list (Model.corr_set_links model c)))
+  let all = Model.corr_set_links model c in
+  let n = ref 0 in
+  Array.iter (fun e -> if Bitset.get effective e then incr n) all;
+  let out = Array.make !n 0 in
+  let j = ref 0 in
+  Array.iter
+    (fun e ->
+      if Bitset.get effective e then begin
+        out.(!j) <- e;
+        incr j
+      end)
+    all;
+  out
 
 let complement model ~effective s =
-  let in_subset = Hashtbl.create 8 in
-  Array.iter (fun e -> Hashtbl.add in_subset e ()) s.links;
-  Array.of_list
-    (List.filter
-       (fun e -> not (Hashtbl.mem in_subset e))
-       (Array.to_list (effective_corr_set model ~effective s.corr)))
+  (* [s.links] and the correlation set are both sorted ascending, so
+     membership is a linear merge. *)
+  let all = Model.corr_set_links model s.corr in
+  let links = s.links in
+  let nl = Array.length links in
+  let keep e i = Bitset.get effective e && (!i >= nl || links.(!i) <> e) in
+  let n = ref 0 in
+  let i = ref 0 in
+  Array.iter
+    (fun e ->
+      while !i < nl && links.(!i) < e do
+        incr i
+      done;
+      if keep e i then incr n)
+    all;
+  let out = Array.make !n 0 in
+  let j = ref 0 in
+  i := 0;
+  Array.iter
+    (fun e ->
+      while !i < nl && links.(!i) < e do
+        incr i
+      done;
+      if keep e i then begin
+        out.(!j) <- e;
+        incr j
+      end)
+    all;
+  out
 
 let candidate_paths model ~effective s =
   let pool = Model.paths_of_links model s.links in
@@ -83,30 +133,99 @@ let inducible model ~effective s =
     (fun e -> not (Bitset.disjoint pool model.Model.link_paths.(e)))
     s.links
 
+(* Enumeration state machine, per correlation set.  The semantics the
+   pruner must preserve exactly: subsets are visited by size then
+   lexicographic order; each visit first checks the [limit_per_set * 4]
+   visit budget (stop when exhausted), then the [limit_per_set] find cap
+   (stop when reached), then runs the inducibility test.  Either early
+   stop with unvisited subsets remaining truncates Ê and counts once
+   into [subsets_enumeration_capped] (the budget path used to be
+   silently uncounted).
+
+   When pruning is on, [Identifiability.inducible_size_witness] proves
+   some sizes contain no inducible subset at all; those sizes are
+   skipped without generating their combinations, but their would-be
+   visits are still charged against the budget ([Combin.choose]
+   arithmetic instead of iteration), so the surviving visit sequence —
+   and with it every found subset, counter and truncation decision — is
+   bit-identical to the exhaustive fan-out. *)
 let enumerate model ~effective ~max_size ~limit_per_set =
   if max_size < 1 then invalid_arg "Subsets.enumerate: max_size < 1";
   if limit_per_set < 1 then invalid_arg "Subsets.enumerate: bad limit";
+  let prune = !ident_prune in
   let acc = ref [] in
   for c = 0 to Model.n_corr_sets model - 1 do
     let eff = effective_corr_set model ~effective c in
-    if Array.length eff > 0 then begin
-      let found = ref 0 in
-      let (_ : int) =
-        Combin.iter_subsets_by_size eff ~max_size
-          ~limit:(limit_per_set * 4) (fun links ->
-            if !found >= limit_per_set then begin
-              Obs.Metrics.incr c_capped;
-              `Stop
-            end
-            else begin
-              let s = make model ~corr:c links in
-              if inducible model ~effective s then begin
-                acc := s :: !acc;
-                incr found
-              end;
-              `Continue
-            end)
+    let n = Array.length eff in
+    if n > 0 then begin
+      let witness =
+        if prune then
+          Some
+            (Identifiability.inducible_size_witness model ~effective ~corr:c
+               ~max_size)
+        else None
       in
+      let budget = limit_per_set * 4 in
+      let size_cap = min max_size n in
+      let visited = ref 0 in
+      let found = ref 0 in
+      let truncated = ref false in
+      let stop = ref false in
+      let k = ref 1 in
+      while (not !stop) && !k <= size_cap do
+        let total = Combin.choose n !k in
+        let remaining = budget - !visited in
+        if remaining <= 0 || !found >= limit_per_set then begin
+          (* The next visit (size [k] is non-empty) would have stopped
+             the exhaustive enumeration here. *)
+          truncated := true;
+          stop := true
+        end
+        else begin
+          let skip =
+            match witness with Some w -> not w.(!k - 1) | None -> false
+          in
+          if skip then begin
+            (* Provably nothing inducible in this size: charge the
+               budget arithmetically instead of fanning out. *)
+            Obs.Metrics.incr ~by:(min total remaining) c_pruned;
+            if total >= remaining then begin
+              visited := budget;
+              if total > remaining then begin
+                truncated := true;
+                stop := true
+              end
+            end
+            else visited := !visited + total
+          end
+          else begin
+            let visited_k =
+              Combin.iter_sized eff ~size:!k ~limit:remaining (fun links ->
+                  if !found >= limit_per_set then begin
+                    truncated := true;
+                    stop := true;
+                    `Stop
+                  end
+                  else begin
+                    let s = make model ~corr:c links in
+                    if inducible model ~effective s then begin
+                      acc := s :: !acc;
+                      incr found
+                    end;
+                    `Continue
+                  end)
+            in
+            visited := !visited + visited_k;
+            if (not !stop) && visited_k < total && visited_k >= remaining
+            then begin
+              truncated := true;
+              stop := true
+            end
+          end
+        end;
+        incr k
+      done;
+      if !truncated then Obs.Metrics.incr c_capped;
       Obs.Metrics.incr ~by:!found c_enumerated
     end
   done;

@@ -7,6 +7,8 @@ type peer = {
   ci_lo : float;
   ci_hi : float;
   n_identifiable : int;
+  n_ambiguous : int;
+  ambiguous_links : int array;
   worst_pair : (int * int * float) option;
 }
 
@@ -17,6 +19,7 @@ let build ~model ~engine ~overlay ~resamples ~rng =
         (Tomo.Confidence.link_marginal_cis engine ~resamples ~level:0.9 ~rng)
     else None
   in
+  let ambiguous = Tomo.Prob_engine.ambiguous_links engine in
   let corr_sets = Overlay.correlation_sets overlay in
   Array.to_list corr_sets
   |> List.filter_map (fun links ->
@@ -25,23 +28,38 @@ let build ~model ~engine ~overlay ~resamples ~rng =
            let peer_as =
              overlay.Overlay.links.(links.(0)).Overlay.owner_as
            in
+           (* A structurally ambiguous link shares its complete path set
+              with another link: "how congested is this link" is not an
+              answerable query, so we mark it instead of summing a point
+              estimate that silently attributes its class's congestion
+              to it. *)
+           let ambig =
+             Array.to_list links
+             |> List.filter (Tomo_util.Bitset.get ambiguous)
+             |> Array.of_list
+           in
+           let answerable e = not (Tomo_util.Bitset.get ambiguous e) in
            let expected, lo, hi =
              Array.fold_left
                (fun (e, l, h) link ->
-                 let p = Tomo.Prob_engine.link_marginal engine link in
-                 match cis with
-                 | Some cis ->
-                     ( e +. p,
-                       l +. cis.(link).Tomo.Confidence.lo,
-                       h +. cis.(link).Tomo.Confidence.hi )
-                 | None -> (e +. p, l +. p, h +. p))
+                 if not (answerable link) then (e, l, h)
+                 else
+                   let p = Tomo.Prob_engine.link_marginal engine link in
+                   match cis with
+                   | Some cis ->
+                       ( e +. p,
+                         l +. cis.(link).Tomo.Confidence.lo,
+                         h +. cis.(link).Tomo.Confidence.hi )
+                   | None -> (e +. p, l +. p, h +. p))
                (0.0, 0.0, 0.0) links
            in
            let n_identifiable =
              Array.fold_left
                (fun a link ->
-                 if Tomo.Prob_engine.link_identifiable engine link then
-                   a + 1
+                 if
+                   answerable link
+                   && Tomo.Prob_engine.link_identifiable engine link
+                 then a + 1
                  else a)
                0 links
            in
@@ -73,6 +91,8 @@ let build ~model ~engine ~overlay ~resamples ~rng =
                ci_lo = lo;
                ci_hi = hi;
                n_identifiable;
+               n_ambiguous = Array.length ambig;
+               ambiguous_links = ambig;
                worst_pair = !worst_pair;
              }
          end)
@@ -81,15 +101,15 @@ let build ~model ~engine ~overlay ~resamples ~rng =
 
 let render ppf ~top peers =
   Format.fprintf ppf
-    "%-8s%7s%14s%20s%14s  %s@." "peer AS" "links" "E[#congested]"
-    "90% CI" "identifiable" "strongest correlation";
-  Format.fprintf ppf "%s@." (String.make 92 '-');
+    "%-8s%7s%14s%20s%14s%7s  %s@." "peer AS" "links" "E[#congested]"
+    "90% CI" "identifiable" "ambig" "strongest correlation";
+  Format.fprintf ppf "%s@." (String.make 99 '-');
   List.iteri
     (fun i p ->
       if i < top then begin
-        Format.fprintf ppf "%-8d%7d%14.3f%9.3f-%-10.3f%10d/%-3d"
+        Format.fprintf ppf "%-8d%7d%14.3f%9.3f-%-10.3f%10d/%-3d%7d"
           p.peer_as p.n_links p.expected_congested p.ci_lo p.ci_hi
-          p.n_identifiable p.n_links;
+          p.n_identifiable p.n_links p.n_ambiguous;
         (match p.worst_pair with
         | Some (a, b, prob) ->
             Format.fprintf ppf "  links (%d,%d) fail together %.0f%%" a b
@@ -97,4 +117,12 @@ let render ppf ~top peers =
         | None -> Format.fprintf ppf "  -");
         Format.fprintf ppf "@."
       end)
-    peers
+    peers;
+  let total_ambig =
+    List.fold_left (fun a p -> a + p.n_ambiguous) 0 peers
+  in
+  if total_ambig > 0 then
+    Format.fprintf ppf
+      "(%d link estimates withheld: structurally ambiguous — \
+       indistinguishable path sets)@."
+      total_ambig

@@ -17,6 +17,12 @@ type peer = {
   ci_lo : float;
   ci_hi : float;
   n_identifiable : int;  (** links with uniquely determined estimates *)
+  n_ambiguous : int;
+      (** links whose estimate is withheld: they share their complete
+          path set with another effective link, so no estimator can
+          attribute congestion to them specifically
+          ({!Tomo.Prob_engine.ambiguous_links}) *)
+  ambiguous_links : int array;  (** the withheld links, ascending *)
   worst_pair : (int * int * float) option;
       (** most correlated identifiable link pair (a, b, P(both
           congested)) if any has joint probability above 1% *)
@@ -24,7 +30,10 @@ type peer = {
 
 (** [build ~model ~engine ~overlay ~resamples ~rng] computes the report.
     [resamples = 0] skips the bootstrap (CIs collapse onto the point
-    estimate). *)
+    estimate).  Structurally ambiguous links are excluded from the
+    expected-congestion sums and CIs — the per-link query is
+    unanswerable — and reported in [n_ambiguous] / [ambiguous_links]
+    instead. *)
 val build :
   model:Tomo.Model.t ->
   engine:Tomo.Prob_engine.t ->

@@ -5,8 +5,14 @@ let choose n k =
     let rec go acc i =
       if i > k then acc
       else
-        let acc' = acc * (n - k + i) / i in
-        if acc' < acc then max_int (* overflow *) else go acc' (i + 1)
+        (* The partial product [acc = C(n-k+i-1, i-1)] grows monotonically,
+           so the first step whose multiplication would exceed [max_int]
+           proves the final value does too (up to the conservative slack of
+           the pre-division factor): saturate before wrapping.  Checking
+           [acc' < acc] after the fact is unsound — a wrapped product can
+           land positive and larger than [acc]. *)
+        let m = n - k + i in
+        if acc > max_int / m then max_int else go (acc * m / i) (i + 1)
     in
     go 1 1
 
@@ -44,6 +50,17 @@ let combinations xs k =
 exception Stop
 
 let c_subsets_visited = Tomo_obs.Metrics.counter "combin_subsets_visited"
+
+let iter_sized xs ~size ~limit f =
+  let visited = ref 0 in
+  (try
+     iter_combinations xs size (fun c ->
+         if !visited >= limit then raise Stop;
+         incr visited;
+         match f c with `Stop -> raise Stop | `Continue -> ())
+   with Stop -> ());
+  Tomo_obs.Metrics.incr ~by:!visited c_subsets_visited;
+  !visited
 
 let iter_subsets_by_size xs ~max_size ~limit f =
   let visited = ref 0 in

@@ -5,8 +5,12 @@
     candidate path pool, in increasing size, under a count cap).  These
     helpers provide that enumeration without materializing power sets. *)
 
-(** [choose n k] is the binomial coefficient, saturating at [max_int] on
-    overflow.  [0] when [k < 0] or [k > n]. *)
+(** [choose n k] is the binomial coefficient, saturating at [max_int]
+    when the computation would overflow native ints.  Overflow is
+    detected {e before} each multiplication, so the result is never a
+    silently wrapped value; the guard is conservative — a value whose
+    intermediate product overflows saturates even if the exact result
+    would fit.  [0] when [k < 0] or [k > n]. *)
 val choose : int -> int -> int
 
 (** [iter_combinations xs k f] applies [f] to every size-[k] combination
@@ -17,6 +21,19 @@ val iter_combinations : 'a array -> int -> ('a array -> unit) -> unit
 
 (** [combinations xs k] materializes [iter_combinations] as a list. *)
 val combinations : 'a array -> int -> 'a array list
+
+(** [iter_sized xs ~size ~limit f] applies [f] to the size-[size]
+    combinations of [xs] in lexicographic index order, stopping before
+    the visit that would exceed [limit] or when [f] returns [`Stop].
+    Returns the number of combinations visited (each visit also counts
+    into the [combin_subsets_visited] metric, like
+    {!iter_subsets_by_size}). *)
+val iter_sized :
+  'a array ->
+  size:int ->
+  limit:int ->
+  ('a array -> [ `Stop | `Continue ]) ->
+  int
 
 (** [iter_subsets_by_size xs ~max_size ~limit f] applies [f] to non-empty
     subsets of [xs] in increasing size (size 1 first), stopping after

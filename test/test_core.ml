@@ -216,6 +216,170 @@ let test_enumerate_case1 () =
     (List.sort compare [ "0:0"; "1:1"; "1:2"; "1:1,2"; "2:3" ])
     keys
 
+(* Both truncation paths of [enumerate] must count once into
+   [subsets_enumeration_capped] — the visit-budget path used to stop
+   silently, under-reporting Ê incompleteness. *)
+let with_metrics f =
+  Tomo_obs.Metrics.set_enabled true;
+  Tomo_obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Tomo_obs.Metrics.set_enabled false;
+      Tomo_obs.Metrics.reset ())
+    f
+
+let counter name = Tomo_obs.Metrics.counter_value (Tomo_obs.Metrics.counter name)
+
+let test_enumerate_found_cap () =
+  (* Three independent links (one path each): all 7 subsets inducible,
+     so a find cap of 2 stops at the third visit with work remaining. *)
+  let m =
+    Model.make ~n_links:3
+      ~paths:[| [| 0 |]; [| 1 |]; [| 2 |] |]
+      ~corr_sets:[| [| 0; 1; 2 |] |]
+  in
+  let eff = all_effective m in
+  with_metrics (fun () ->
+      let subsets =
+        Subsets.enumerate m ~effective:eff ~max_size:3 ~limit_per_set:2
+      in
+      check_int "find cap respected" 2 (List.length subsets);
+      check_int "truncation counted once" 1
+        (counter "subsets_enumeration_capped");
+      check_int "found counted" 2 (counter "subsets_enumerated"))
+
+let test_enumerate_budget_cap () =
+  (* A 6-link chain covered by one path: nothing of size <= 3 is
+     inducible, and the visit budget (limit_per_set * 4 = 4) runs out
+     during size 1 with subsets left — the truncation the old code
+     forgot to count.  With pruning the skipped visits are charged
+     arithmetically, so the counter and result are identical; only
+     [ident_pruned_sets] records the saved work. *)
+  let m =
+    Model.make ~n_links:6
+      ~paths:[| [| 0; 1; 2; 3; 4; 5 |] |]
+      ~corr_sets:[| [| 0; 1; 2; 3; 4; 5 |] |]
+  in
+  let eff = all_effective m in
+  let saved = Subsets.ident_prune_enabled () in
+  Fun.protect
+    ~finally:(fun () -> Subsets.set_ident_prune saved)
+    (fun () ->
+      List.iter
+        (fun prune ->
+          Subsets.set_ident_prune prune;
+          with_metrics (fun () ->
+              let subsets =
+                Subsets.enumerate m ~effective:eff ~max_size:3
+                  ~limit_per_set:1
+              in
+              let tag = if prune then "pruned" else "exhaustive" in
+              check_int (tag ^ ": nothing found") 0 (List.length subsets);
+              check_int
+                (tag ^ ": budget truncation counted once")
+                1
+                (counter "subsets_enumeration_capped");
+              check_int
+                (tag ^ ": pruned visits recorded")
+                (if prune then 4 else 0)
+                (counter "ident_pruned_sets")))
+        [ false; true ])
+
+(* ------------------------------------------------------------------ *)
+(* Direct array filters vs the list-based originals                    *)
+(* ------------------------------------------------------------------ *)
+
+let random_model rng =
+  let n_links = 1 + Tomo_util.Rng.int rng 10 in
+  (* Random partition into correlation sets. *)
+  let n_corr = 1 + Tomo_util.Rng.int rng n_links in
+  let assignment = Array.init n_links (fun _ -> Tomo_util.Rng.int rng n_corr) in
+  let corr_sets =
+    Array.init n_corr (fun c ->
+        Array.of_list
+          (List.filter
+             (fun e -> assignment.(e) = c)
+             (List.init n_links Fun.id)))
+    |> Array.to_list
+    |> List.filter (fun s -> Array.length s > 0)
+    |> Array.of_list
+  in
+  let n_paths = 1 + Tomo_util.Rng.int rng 8 in
+  let paths =
+    Array.init n_paths (fun _ ->
+        let links =
+          List.filter
+            (fun _ -> Tomo_util.Rng.bool rng ~p:0.4)
+            (List.init n_links Fun.id)
+        in
+        match links with
+        | [] -> [| Tomo_util.Rng.int rng n_links |]
+        | l -> Array.of_list l)
+  in
+  Model.make ~n_links ~paths ~corr_sets
+
+let random_effective rng m =
+  let eff = Bitset.create m.Model.n_links in
+  for e = 0 to m.Model.n_links - 1 do
+    if Tomo_util.Rng.bool rng ~p:0.7 then Bitset.set eff e
+  done;
+  eff
+
+let prop_effective_corr_set_matches_list =
+  QCheck.Test.make ~name:"effective_corr_set equals list filter" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Tomo_util.Rng.create (7919 * (seed + 1)) in
+      let m = random_model rng in
+      let eff = random_effective rng m in
+      let ok = ref true in
+      for c = 0 to Model.n_corr_sets m - 1 do
+        let reference =
+          Array.to_list (Model.corr_set_links m c)
+          |> List.filter (Bitset.get eff)
+        in
+        if
+          Array.to_list (Subsets.effective_corr_set m ~effective:eff c)
+          <> reference
+        then ok := false
+      done;
+      !ok)
+
+let prop_complement_matches_list =
+  QCheck.Test.make ~name:"complement equals list filter" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Tomo_util.Rng.create (104729 * (seed + 1)) in
+      let m = random_model rng in
+      let eff = random_effective rng m in
+      let ok = ref true in
+      for c = 0 to Model.n_corr_sets m - 1 do
+        let links = Model.corr_set_links m c in
+        (* every non-empty subset of the first few links of the set *)
+        let pool = Array.sub links 0 (min 3 (Array.length links)) in
+        List.iter
+          (fun subset ->
+            if subset <> [] then begin
+              let s = Subsets.make m ~corr:c (Array.of_list subset) in
+              let reference =
+                Array.to_list links
+                |> List.filter (fun e ->
+                       Bitset.get eff e && not (List.mem e subset))
+              in
+              if
+                Array.to_list (Subsets.complement m ~effective:eff s)
+                <> reference
+              then ok := false
+            end)
+          (List.filteri (fun _ _ -> true)
+             (let rec powerset = function
+                | [] -> [ [] ]
+                | x :: rest ->
+                    let p = powerset rest in
+                    p @ List.map (fun s -> x :: s) p
+              in
+              powerset (Array.to_list pool)))
+      done;
+      !ok)
+
 let test_subset_canonicalization () =
   let m = Toy.case1 () in
   let a = Subsets.make m ~corr:1 [| e3; e2 |] in
@@ -382,6 +546,7 @@ let prop_resample_frequency_stable =
       < 0.15)
 
 let () =
+  let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "core"
     [
       ( "model",
@@ -416,6 +581,12 @@ let () =
             test_enumerate_case1;
           Alcotest.test_case "canonicalization" `Quick
             test_subset_canonicalization;
+          Alcotest.test_case "find-cap truncation counted" `Quick
+            test_enumerate_found_cap;
+          Alcotest.test_case "budget truncation counted (both modes)"
+            `Quick test_enumerate_budget_cap;
+          qc prop_effective_corr_set_matches_list;
+          qc prop_complement_matches_list;
         ] );
       ( "eqn",
         [

@@ -434,6 +434,46 @@ let test_choose () =
   check_int "C(5,-1)" 0 (Combin.choose 5 (-1));
   check_int "C(40,20)" 137846528820 (Combin.choose 40 20)
 
+(* Saturation at the overflow boundary.  C(66,33) ≈ 7.2e18 exceeds
+   [max_int] on 64-bit; the old guard multiplied first and checked the
+   wrapped product afterwards, which could land back in range and
+   return garbage instead of [max_int]. *)
+let test_choose_overflow () =
+  check_int "C(66,33) saturates" max_int (Combin.choose 66 33);
+  check_int "C(1000,500) saturates" max_int (Combin.choose 1000 500);
+  check_int "C(n,1) = n stays exact at huge n" (max_int / 2)
+    (Combin.choose (max_int / 2) 1);
+  check_int "C(10000,2)" 49995000 (Combin.choose 10000 2);
+  (* The guard is conservative: a value may saturate even though the
+     exact result fits (its intermediate product overflows).  Either
+     way the result must never be a wrapped (negative or small) int. *)
+  check_bool "C(64,32) exact or saturated" true
+    (let v = Combin.choose 64 32 in
+     v = 1832624140942590534 || v = max_int)
+
+(* Reference via Pascal's triangle with saturating addition: exact
+   whenever the true value fits in [int], [max_int] when it genuinely
+   overflows.  [choose] may additionally saturate conservatively, but
+   must never return anything other than the exact value or
+   [max_int]. *)
+let prop_choose_exact_or_saturated =
+  QCheck.Test.make ~name:"choose is exact or saturates to max_int"
+    ~count:200
+    QCheck.(pair (int_range 0 120) (int_range 0 120))
+    (fun (n, k) ->
+      let sat_add a b = if a + b < 0 then max_int else a + b in
+      let row = ref [| 1 |] in
+      for i = 1 to n do
+        let prev = !row in
+        row :=
+          Array.init (i + 1) (fun j ->
+              let get x = if x < 0 || x >= i then 0 else prev.(x) in
+              sat_add (get (j - 1)) (get j))
+      done;
+      let reference = if k > n then 0 else !row.(k) in
+      let c = Combin.choose n k in
+      c = reference || (c = max_int && reference > 1_000_000))
+
 let test_combinations () =
   let cs = Combin.combinations [| 1; 2; 3; 4 |] 2 in
   check_int "C(4,2) count" 6 (List.length cs);
@@ -468,6 +508,35 @@ let test_subsets_stop () =
         if !seen = 2 then `Stop else `Continue)
   in
   check_int "stopped after 2" 2 n
+
+let test_iter_sized () =
+  let collect ~size ~limit =
+    let acc = ref [] in
+    let n =
+      Combin.iter_sized [| 1; 2; 3; 4 |] ~size ~limit (fun c ->
+          acc := Array.to_list c :: !acc;
+          `Continue)
+    in
+    (n, List.rev !acc)
+  in
+  let n, cs = collect ~size:2 ~limit:100 in
+  check_int "all pairs visited" 6 n;
+  Alcotest.(check (list (list int)))
+    "lexicographic order"
+    [ [ 1; 2 ]; [ 1; 3 ]; [ 1; 4 ]; [ 2; 3 ]; [ 2; 4 ]; [ 3; 4 ] ]
+    cs;
+  let n, cs = collect ~size:2 ~limit:4 in
+  check_int "limit stops before the 5th visit" 4 n;
+  check_int "limited prefix" 4 (List.length cs);
+  let n, _ = collect ~size:0 ~limit:100 in
+  check_int "size 0 visits the empty set" 1 n;
+  let stopped = ref 0 in
+  let n =
+    Combin.iter_sized [| 1; 2; 3; 4 |] ~size:1 ~limit:100 (fun _ ->
+        incr stopped;
+        if !stopped = 2 then `Stop else `Continue)
+  in
+  check_int "callback stop counts the stopping visit" 2 n
 
 let prop_combination_count =
   QCheck.Test.make ~name:"combination count equals binomial" ~count:50
@@ -528,6 +597,9 @@ let () =
       ( "combin",
         [
           Alcotest.test_case "binomial" `Quick test_choose;
+          Alcotest.test_case "binomial overflow saturation" `Quick
+            test_choose_overflow;
+          Alcotest.test_case "sized iteration" `Quick test_iter_sized;
           Alcotest.test_case "combinations" `Quick test_combinations;
           Alcotest.test_case "combination edges" `Quick
             test_combinations_edge;
@@ -535,5 +607,6 @@ let () =
           Alcotest.test_case "subset limit" `Quick test_subsets_limit;
           Alcotest.test_case "early stop" `Quick test_subsets_stop;
           qc prop_combination_count;
+          qc prop_choose_exact_or_saturated;
         ] );
     ]
